@@ -1,0 +1,85 @@
+//! Shared machinery for the baseline generators.
+//!
+//! Each lite baseline keeps the *generation policy* of the original tool
+//! (see DESIGN.md §2): grammar-random catalog-driven generation for
+//! SQLsmith, pivot-query synthesis with a hand-modelled function subset for
+//! SQLancer, and IR mutation of a seed corpus for SQUIRREL. All three keep
+//! their originals' typed-expression discipline: function arguments are
+//! well-typed columns and mid-range literals, never the bare boundary
+//! values (`NULL`, `''`, `*`, 45-digit numbers) that SOFT's P1.1 pool is
+//! built from — which is precisely the paper's explanation for why they
+//! miss SQL function bugs.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// The schema every baseline works against (created by its own prelude,
+/// mirroring the shared seed schema).
+pub const TABLES: &[(&str, &[(&str, &str)])] = &[
+    ("t1", &[("a", "INTEGER"), ("b", "TEXT"), ("c", "DOUBLE")]),
+    ("t2", &[("k", "TEXT"), ("v", "INTEGER")]),
+];
+
+/// DDL/DML prelude statements.
+pub fn prelude() -> Vec<String> {
+    vec![
+        "CREATE TABLE IF NOT EXISTS t1 (a INTEGER, b TEXT, c DOUBLE)".into(),
+        "INSERT INTO t1 VALUES (1, 'alpha', 1.5), (2, 'beta', 2.5), (3, 'gamma', -0.5)".into(),
+        "CREATE TABLE IF NOT EXISTS t2 (k TEXT, v INTEGER)".into(),
+        "INSERT INTO t2 VALUES ('x', 10), ('x', 20), ('y', 30)".into(),
+    ]
+}
+
+/// A mid-range random literal of the kind the baselines emit: small
+/// integers, small floats, short lowercase strings.
+pub fn random_plain_literal(rng: &mut StdRng) -> String {
+    match rng.gen_range(0..6) {
+        0 | 1 => rng.gen_range(0..100i64).to_string(),
+        2 => format!("{:.2}", rng.gen_range(0.0..10.0f64)),
+        3 => {
+            let len = rng.gen_range(1..6usize);
+            let s: String =
+                (0..len).map(|_| (b'a' + rng.gen_range(0..26u8)) as char).collect();
+            format!("'{s}'")
+        }
+        4 => "TRUE".to_string(),
+        _ => rng.gen_range(-50..0i64).to_string(),
+    }
+}
+
+/// A random column reference from the baseline schema.
+pub fn random_column(rng: &mut StdRng) -> (&'static str, &'static str) {
+    let (table, cols) = TABLES[rng.gen_range(0..TABLES.len())];
+    let (col, _) = cols[rng.gen_range(0..cols.len())];
+    (table, col)
+}
+
+/// A random comparison operator.
+pub fn random_cmp(rng: &mut StdRng) -> &'static str {
+    ["=", "<>", "<", "<=", ">", ">="][rng.gen_range(0..6)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn plain_literals_avoid_boundary_values() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..500 {
+            let lit = random_plain_literal(&mut rng);
+            assert_ne!(lit, "NULL");
+            assert_ne!(lit, "''");
+            assert_ne!(lit, "*");
+            assert!(lit.len() < 12, "{lit} is suspiciously long");
+        }
+    }
+
+    #[test]
+    fn prelude_parses() {
+        for sql in prelude() {
+            soft_parser::parse_statement(&sql).unwrap();
+        }
+    }
+}

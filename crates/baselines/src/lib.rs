@@ -1,0 +1,19 @@
+//! Lite reimplementations of the comparison tools of §7.5: SQLsmith,
+//! SQLancer (PQS mode) and SQUIRREL.
+//!
+//! Each baseline keeps the original tool's *generation policy* — that is
+//! what the paper's comparison isolates — behind the shared
+//! [`soft_core::StatementGenerator`] interface, so the same campaign
+//! harness measures all four tools.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod sqlancer;
+pub mod sqlsmith;
+pub mod squirrel;
+
+pub use sqlancer::SqlancerLite;
+pub use sqlsmith::SqlsmithLite;
+pub use squirrel::SquirrelLite;

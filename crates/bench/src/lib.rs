@@ -1,0 +1,12 @@
+//! The benchmark harness: the tool comparison (Tables 5-6, §7.5) and the
+//! helpers behind the `repro` binary that regenerates every table and
+//! figure of the paper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ablation;
+pub mod comparison;
+
+pub use ablation::{render_ablation, run_ablation, AblationResult};
+pub use comparison::{check_shape, render_metric, run_comparison, Tool, ToolResult};

@@ -1,0 +1,306 @@
+//! The SOFT campaign runner (§7.1 step 3, "SQL Function Bug Detection").
+//!
+//! The runner replays a target's preparation statements, executes the
+//! collected seeds, then streams pattern-generated statements into the
+//! engine under a statement budget — the reproduction's deterministic
+//! substitute for the paper's wall-clock budgets. Crashes are deduplicated
+//! by fault id; after each crash the database is "restarted"
+//! ([`soft_engine::Engine::reset_database`]) and preparation replayed, the
+//! way the paper's harness restarts its DBMS containers.
+
+use crate::collect;
+use crate::patterns::{self, GenCtx, GeneratedCase};
+use crate::report::{BugFinding, CampaignReport};
+use soft_dialects::DialectProfile;
+use soft_engine::{Engine, ExecOutcome, PatternId, SqlError};
+use std::collections::HashSet;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Statement budget (the 24-hour analogue).
+    pub max_statements: usize,
+    /// Cases generated per (pattern, seed) pair.
+    pub per_seed_cap: usize,
+    /// Restrict generation to these patterns (None = all ten) — the
+    /// ablation knob.
+    pub patterns: Option<Vec<PatternId>>,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig { max_statements: 200_000, per_seed_cap: 64, patterns: None }
+    }
+}
+
+/// The pattern application order; interleaved round-robin at execution.
+const PATTERN_ORDER: [PatternId; 9] = [
+    PatternId::P1_2,
+    PatternId::P1_3,
+    PatternId::P1_4,
+    PatternId::P2_1,
+    PatternId::P2_2,
+    PatternId::P2_3,
+    PatternId::P3_1,
+    PatternId::P3_2,
+    PatternId::P3_3,
+];
+
+/// Runs a full SOFT campaign against one dialect profile.
+pub fn run_soft(profile: &DialectProfile, config: &CampaignConfig) -> CampaignReport {
+    let collection = collect::collect(profile);
+    let ctx = GenCtx::new(&collection);
+    let mut engine = profile.engine();
+    let mut statements = 0usize;
+    let mut false_positives = 0usize;
+    let mut errors = 0usize;
+    let mut found: HashSet<String> = HashSet::new();
+    let mut findings: Vec<BugFinding> = Vec::new();
+
+    let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
+    let replay_prep = |engine: &mut Engine| {
+        for sql in &prep {
+            let _ = engine.execute(sql);
+        }
+    };
+    replay_prep(&mut engine);
+
+    // Phase 1: execute the seeds themselves (they should be crash-free, but
+    // they count toward the budget and they prime coverage).
+    let run_stmt = |engine: &mut Engine,
+                        sql: &str,
+                        pattern: Option<PatternId>,
+                        statements: &mut usize,
+                        false_positives: &mut usize,
+                        errors: &mut usize,
+                        findings: &mut Vec<BugFinding>,
+                        found: &mut HashSet<String>| {
+        *statements += 1;
+        match engine.execute(sql) {
+            ExecOutcome::Crash(c) => {
+                if found.insert(c.fault_id.clone()) {
+                    // Look up the corpus entry for ground-truth metadata.
+                    let spec = profile
+                        .faults
+                        .iter()
+                        .find(|f| f.spec.id == c.fault_id)
+                        .map(|f| &f.spec);
+                    findings.push(BugFinding {
+                        fault_id: c.fault_id.clone(),
+                        dialect: profile.id,
+                        kind: c.kind,
+                        stage: c.stage,
+                        category: spec
+                            .map(|s| s.category)
+                            .unwrap_or(soft_types::category::FunctionCategory::System),
+                        credited_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
+                        found_by_pattern: pattern.unwrap_or(PatternId::P1_2),
+                        function: c.function.clone(),
+                        poc: sql.to_string(),
+                        statements_until_found: *statements,
+                        fixed: spec.map(|s| s.fixed).unwrap_or(false),
+                    });
+                }
+                // "Restart" the DBMS and re-prepare.
+                engine.reset_database();
+                replay_prep(engine);
+            }
+            ExecOutcome::Error(SqlError::ResourceLimit(_)) => *false_positives += 1,
+            ExecOutcome::Error(_) => *errors += 1,
+            ExecOutcome::Rows(_) | ExecOutcome::Ok(_) => {}
+        }
+    };
+
+    let mut executed: HashSet<String> = HashSet::new();
+    for stmt in &collection.seeds {
+        if statements >= config.max_statements {
+            break;
+        }
+        let sql = stmt.to_string();
+        if executed.insert(sql.clone()) {
+            run_stmt(
+                &mut engine,
+                &sql,
+                None,
+                &mut statements,
+                &mut false_positives,
+                &mut errors,
+                &mut findings,
+                &mut found,
+            );
+        }
+    }
+
+    // Phase 2: pattern-based generation, interleaved round-robin across
+    // patterns so every pattern gets budget share.
+    let active: Vec<PatternId> = match &config.patterns {
+        None => PATTERN_ORDER.to_vec(),
+        Some(ps) => PATTERN_ORDER.iter().copied().filter(|p| ps.contains(p)).collect(),
+    };
+    let mut per_pattern: Vec<Vec<GeneratedCase>> = Vec::with_capacity(active.len());
+    for pattern in active {
+        // The cross-function patterns need wider per-seed budgets: their
+        // search space is (seed × donor), not (seed × pool).
+        let cap = match pattern {
+            PatternId::P3_3 => config.per_seed_cap.max(640),
+            PatternId::P2_3 => config.per_seed_cap.max(128),
+            _ => config.per_seed_cap,
+        };
+        let mut cases = Vec::new();
+        for (si, seed) in collection.seeds.iter().enumerate() {
+            patterns::apply_salted(pattern, seed, &ctx, cap, si, &mut cases);
+        }
+        per_pattern.push(cases);
+    }
+    let mut cursors = vec![0usize; per_pattern.len()];
+    'outer: loop {
+        let mut progressed = false;
+        for (pi, cases) in per_pattern.iter().enumerate() {
+            if statements >= config.max_statements {
+                break 'outer;
+            }
+            while cursors[pi] < cases.len() {
+                let case = &cases[cursors[pi]];
+                cursors[pi] += 1;
+                if executed.insert(case.sql.clone()) {
+                    run_stmt(
+                        &mut engine,
+                        &case.sql,
+                        Some(case.pattern),
+                        &mut statements,
+                        &mut false_positives,
+                        &mut errors,
+                        &mut findings,
+                        &mut found,
+                    );
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    CampaignReport {
+        dialect: profile.id,
+        statements_executed: statements,
+        findings,
+        false_positives,
+        errors,
+        functions_triggered: engine.coverage().functions_triggered(),
+        branches_covered: engine.coverage().branches_covered(),
+    }
+}
+
+/// Anything that can stream test statements at a target — the interface the
+/// baseline tools implement for the Tables 5/6 comparison.
+pub trait StatementGenerator {
+    /// Tool name (for report labels).
+    fn name(&self) -> &'static str;
+    /// Produces the next statement, or `None` when the tool is exhausted.
+    fn next_statement(&mut self) -> Option<String>;
+}
+
+/// Runs any statement generator against a profile under a budget,
+/// measuring the same campaign metrics as [`run_soft`].
+pub fn run_generator(
+    profile: &DialectProfile,
+    generator: &mut dyn StatementGenerator,
+    max_statements: usize,
+) -> CampaignReport {
+    let mut engine = profile.engine();
+    let mut statements = 0usize;
+    let mut false_positives = 0usize;
+    let mut errors = 0usize;
+    let mut found: HashSet<String> = HashSet::new();
+    let mut findings: Vec<BugFinding> = Vec::new();
+    while statements < max_statements {
+        let Some(sql) = generator.next_statement() else { break };
+        statements += 1;
+        match engine.execute(&sql) {
+            ExecOutcome::Crash(c) => {
+                if found.insert(c.fault_id.clone()) {
+                    let spec = profile
+                        .faults
+                        .iter()
+                        .find(|f| f.spec.id == c.fault_id)
+                        .map(|f| &f.spec);
+                    findings.push(BugFinding {
+                        fault_id: c.fault_id.clone(),
+                        dialect: profile.id,
+                        kind: c.kind,
+                        stage: c.stage,
+                        category: spec
+                            .map(|s| s.category)
+                            .unwrap_or(soft_types::category::FunctionCategory::System),
+                        credited_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
+                        found_by_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
+                        function: c.function.clone(),
+                        poc: sql.clone(),
+                        statements_until_found: statements,
+                        fixed: spec.map(|s| s.fixed).unwrap_or(false),
+                    });
+                }
+                engine.reset_database();
+            }
+            ExecOutcome::Error(SqlError::ResourceLimit(_)) => false_positives += 1,
+            ExecOutcome::Error(_) => errors += 1,
+            _ => {}
+        }
+    }
+    CampaignReport {
+        dialect: profile.id,
+        statements_executed: statements,
+        findings,
+        false_positives,
+        errors,
+        functions_triggered: engine.coverage().functions_triggered(),
+        branches_covered: engine.coverage().branches_covered(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_dialects::DialectId;
+
+    #[test]
+    fn small_budget_campaign_is_deterministic() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig { max_statements: 3_000, per_seed_cap: 8, patterns: None };
+        let a = run_soft(&profile, &cfg);
+        let b = run_soft(&profile, &cfg);
+        assert_eq!(a.statements_executed, b.statements_executed);
+        assert_eq!(
+            a.findings.iter().map(|f| &f.fault_id).collect::<Vec<_>>(),
+            b.findings.iter().map(|f| &f.fault_id).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn campaign_finds_bugs_in_clickhouse() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig { max_statements: 60_000, per_seed_cap: 48, patterns: None };
+        let report = run_soft(&profile, &cfg);
+        assert!(
+            !report.findings.is_empty(),
+            "SOFT should find at least one of the 6 ClickHouse bugs"
+        );
+        // Findings carry unique fault ids.
+        let ids: HashSet<&String> = report.findings.iter().map(|f| &f.fault_id).collect();
+        assert_eq!(ids.len(), report.findings.len());
+        // Coverage was recorded.
+        assert!(report.functions_triggered > 100);
+        assert!(report.branches_covered > 500);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let profile = DialectProfile::build(DialectId::Monetdb);
+        let cfg = CampaignConfig { max_statements: 500, per_seed_cap: 4, patterns: None };
+        let report = run_soft(&profile, &cfg);
+        assert!(report.statements_executed <= 500);
+    }
+}

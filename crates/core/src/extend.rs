@@ -1,0 +1,194 @@
+//! §8 extensions: what the paper sketches beyond crash bugs in function
+//! arguments.
+//!
+//! * **Boundary values for other clauses** ("Extending Existing DBMS Testing
+//!   Works with SOFT"): [`where_boundary_cases`] pushes the P1.1 pool into
+//!   `WHERE` comparisons, exercising filtering the way SOFT exercises
+//!   function arguments.
+//! * **Correctness bugs** ("Correctness Bugs in SQL Functions"):
+//!   [`tlp_check`] implements the Ternary Logic Partitioning oracle the
+//!   paper cites (TLP, its reference 50): for any predicate `p`, a query must return the
+//!   same multiset of rows as the union of its `WHERE p`, `WHERE NOT p` and
+//!   `WHERE p IS NULL` partitions.
+
+use crate::patterns::GeneratedCase;
+use crate::pool;
+use soft_engine::{Engine, ExecOutcome, PatternId};
+use soft_parser::ast::{Expr, SelectBody, Statement};
+
+/// Generates `WHERE`-boundary variants of a seed: each comparison literal in
+/// the WHERE clause is replaced by each P1.1 pool value.
+pub fn where_boundary_cases(seed: &Statement, cap: usize) -> Vec<GeneratedCase> {
+    let mut out = Vec::new();
+    let Statement::Select(sel) = seed else { return out };
+    let SelectBody::Query(q) = &sel.body else { return out };
+    if q.where_clause.is_none() {
+        return out;
+    }
+    for b in pool::boundary_literals() {
+        // `*` is not a valid predicate operand.
+        if matches!(b, Expr::Star) {
+            continue;
+        }
+        let mut stmt = seed.clone();
+        let mut replaced = false;
+        soft_parser::visit::visit_exprs_mut(&mut stmt, &mut |e| {
+            if replaced {
+                return;
+            }
+            if let Expr::Binary { right, .. } = e {
+                if matches!(**right, Expr::Literal(_)) {
+                    **right = b.clone();
+                    replaced = true;
+                }
+            }
+        });
+        if replaced {
+            out.push(GeneratedCase { sql: stmt.to_string(), pattern: PatternId::P1_2 });
+            if out.len() >= cap {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// A TLP violation: the partitions did not sum back to the original result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TlpViolation {
+    /// The original query.
+    pub query: String,
+    /// The partitioning predicate.
+    pub predicate: String,
+    /// Row count of the unpartitioned query.
+    pub base_rows: usize,
+    /// Summed row count of the three partitions.
+    pub partitioned_rows: usize,
+}
+
+/// Outcome of one TLP check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TlpOutcome {
+    /// Partitions agree with the base query.
+    Consistent,
+    /// A logic bug: partitions disagree.
+    Violation(TlpViolation),
+    /// The base query or a partition errored; no verdict.
+    Inconclusive,
+}
+
+/// Runs the TLP oracle: compares `SELECT ... FROM t` against the union of
+/// its three predicate partitions.
+///
+/// `base` must be a simple `SELECT ... FROM <table>` without WHERE/GROUP
+/// BY/aggregates; `predicate` is any boolean SQL expression over the
+/// table's columns.
+pub fn tlp_check(engine: &mut Engine, base: &str, predicate: &str) -> TlpOutcome {
+    let count = |engine: &mut Engine, sql: &str| -> Option<usize> {
+        match engine.execute(sql) {
+            ExecOutcome::Rows(rs) => Some(rs.rows.len()),
+            _ => None,
+        }
+    };
+    let Some(base_rows) = count(engine, base) else {
+        return TlpOutcome::Inconclusive;
+    };
+    let mut partitioned = 0usize;
+    for variant in [
+        format!("{base} WHERE {predicate}"),
+        format!("{base} WHERE NOT ({predicate})"),
+        format!("{base} WHERE ({predicate}) IS NULL"),
+    ] {
+        match count(engine, &variant) {
+            Some(n) => partitioned += n,
+            None => return TlpOutcome::Inconclusive,
+        }
+    }
+    if partitioned == base_rows {
+        TlpOutcome::Consistent
+    } else {
+        TlpOutcome::Violation(TlpViolation {
+            query: base.to_string(),
+            predicate: predicate.to_string(),
+            base_rows,
+            partitioned_rows: partitioned,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use soft_parser::parse_statement;
+
+    fn engine_with_data() -> Engine {
+        let mut e = Engine::with_default_functions(Default::default());
+        e.execute("CREATE TABLE t (a INTEGER, b TEXT)");
+        e.execute("INSERT INTO t VALUES (1, 'x'), (2, NULL), (NULL, 'y'), (4, 'z')");
+        e
+    }
+
+    #[test]
+    fn tlp_holds_on_the_reference_engine() {
+        let mut e = engine_with_data();
+        for pred in [
+            "a > 2",
+            "a = 1",
+            "b = 'x'",
+            "a + 1 > a",
+            "LENGTH(b) > 0",
+            "a > 2 AND b IS NOT NULL",
+            "a IN (1, 2)",
+            "a BETWEEN 1 AND 3",
+            "UPPER(b) = 'X'",
+        ] {
+            match tlp_check(&mut e, "SELECT a, b FROM t", pred) {
+                TlpOutcome::Consistent => {}
+                other => panic!("{pred}: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn tlp_is_inconclusive_on_errors() {
+        let mut e = engine_with_data();
+        assert_eq!(
+            tlp_check(&mut e, "SELECT * FROM missing", "a > 1"),
+            TlpOutcome::Inconclusive
+        );
+        assert_eq!(
+            tlp_check(&mut e, "SELECT a FROM t", "NO_SUCH_FN(a)"),
+            TlpOutcome::Inconclusive
+        );
+    }
+
+    #[test]
+    fn where_boundaries_generate_reparseable_cases() {
+        let seed = parse_statement("SELECT a FROM t WHERE a > 5").unwrap();
+        let cases = where_boundary_cases(&seed, 100);
+        assert!(cases.len() >= 20, "{}", cases.len());
+        for c in &cases {
+            parse_statement(&c.sql).unwrap_or_else(|e| panic!("{}: {e}", c.sql));
+            assert!(c.sql.contains("WHERE"));
+        }
+        // The pool's NULL and 45-digit values appear.
+        assert!(cases.iter().any(|c| c.sql.ends_with("WHERE a > NULL")));
+        assert!(cases.iter().any(|c| c.sql.contains(&"9".repeat(45))));
+    }
+
+    #[test]
+    fn where_boundaries_skip_seeds_without_where() {
+        let seed = parse_statement("SELECT a FROM t").unwrap();
+        assert!(where_boundary_cases(&seed, 10).is_empty());
+    }
+
+    #[test]
+    fn where_boundary_cases_execute_without_crash() {
+        let mut e = engine_with_data();
+        let seed = parse_statement("SELECT a FROM t WHERE a > 5").unwrap();
+        for case in where_boundary_cases(&seed, 100) {
+            let out = e.execute(&case.sql);
+            assert!(!out.is_crash(), "{}: {out:?}", case.sql);
+        }
+    }
+}

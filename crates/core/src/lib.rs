@@ -1,0 +1,35 @@
+//! SOFT — the pattern-based SQL function bug detector of the paper,
+//! reimplemented.
+//!
+//! The pipeline follows §7.1: **collection** (documentation + test suite →
+//! seed function expressions), **pattern-based generation** (the ten
+//! boundary-value-generation patterns of §6 applied to the seeds, capped at
+//! two nested function expressions per Finding 3), and **bug detection**
+//! (execute, watch for crash outcomes, deduplicate by crash signature,
+//! restart the target after each crash).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use soft_core::campaign::{run_soft, CampaignConfig};
+//! use soft_dialects::{DialectId, DialectProfile};
+//!
+//! let profile = DialectProfile::build(DialectId::Clickhouse);
+//! let report = run_soft(&profile, &CampaignConfig::default());
+//! println!("{} bugs found", report.findings.len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod collect;
+pub mod extend;
+pub mod minimize;
+pub mod patterns;
+pub mod pool;
+pub mod report;
+
+pub use campaign::{run_generator, run_soft, CampaignConfig, StatementGenerator};
+pub use patterns::{GenCtx, GeneratedCase};
+pub use report::{render_table4, BugFinding, CampaignReport};

@@ -1,0 +1,86 @@
+//! Pattern 1.1: the boundary literal pool.
+//!
+//! §6: *"We construct the boundary values of these literal types by Pattern
+//! 1.1. Particularly for integer and decimal values, we enumerate values
+//! with different digit lengths"* — merely trying one extreme value is
+//! insufficient because different DBMSs cap digit counts differently.
+
+use soft_parser::ast::{Expr, Literal};
+
+/// Digit lengths enumerated for numeric boundary literals.
+///
+/// Chosen to straddle the common implementation limits: `i32`/`i64` widths,
+/// the 31-digit formatting threshold, the 38/40-digit decimal buffers and
+/// the 65-digit `DECIMAL` cap.
+pub const DIGIT_LENGTHS: [usize; 5] = [1, 5, 10, 20, 45];
+
+/// Builds the P1.1 boundary literal pool.
+///
+/// # Examples
+///
+/// ```
+/// let pool = soft_core::pool::boundary_literals();
+/// let rendered: Vec<String> = pool.iter().map(|e| e.to_string()).collect();
+/// assert!(rendered.contains(&"NULL".to_string()));
+/// assert!(rendered.contains(&"*".to_string()));
+/// assert!(rendered.contains(&"''".to_string()));
+/// assert!(rendered.iter().any(|s| s.len() > 40));
+/// ```
+pub fn boundary_literals() -> Vec<Expr> {
+    let mut out = vec![
+        Expr::Literal(Literal::Null),
+        Expr::Star,
+        Expr::string(""),
+        Expr::number("0"),
+        Expr::number("-0.0"),
+    ];
+    for len in DIGIT_LENGTHS {
+        let nines = "9".repeat(len);
+        // ±99...9 with `len` digits.
+        out.push(Expr::number(&nines));
+        out.push(Expr::number(&format!("-{nines}")));
+        // ±0.99...9 with `len` fractional digits.
+        out.push(Expr::number(&format!("0.{nines}")));
+        out.push(Expr::number(&format!("-0.{nines}")));
+    }
+    out
+}
+
+/// A compact sub-pool for patterns that embed pool values inside other
+/// constructions (P3.1 repetition counts).
+pub fn repetition_counts() -> Vec<i64> {
+    vec![100, 1000, 100_000]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_size_and_shape() {
+        let pool = boundary_literals();
+        assert_eq!(pool.len(), 5 + 4 * DIGIT_LENGTHS.len());
+        // All entries must be valid expressions when printed and reparsed.
+        for e in &pool {
+            let sql = format!("SELECT f({e})");
+            soft_parser::parse_statement(&sql).unwrap_or_else(|err| panic!("{sql}: {err}"));
+        }
+    }
+
+    #[test]
+    fn pool_contains_the_paper_exemplars() {
+        let rendered: Vec<String> =
+            boundary_literals().iter().map(|e| e.to_string()).collect();
+        // The paper's P1.1 examples: ±0.99999, ±99999, '', NULL, *.
+        assert!(rendered.contains(&"0.99999".to_string()));
+        assert!(rendered.contains(&"-0.99999".to_string()));
+        assert!(rendered.contains(&"99999".to_string()));
+        assert!(rendered.contains(&"-99999".to_string()));
+    }
+
+    #[test]
+    fn includes_45_digit_values() {
+        let pool = boundary_literals();
+        assert!(pool.iter().any(|e| e.to_string() == "9".repeat(45)));
+    }
+}

@@ -1,0 +1,212 @@
+//! Campaign findings and reports (the data behind Table 4 and §7.3).
+
+use soft_dialects::DialectId;
+use soft_engine::{CrashKind, PatternId, Stage};
+use soft_types::category::FunctionCategory;
+use std::collections::BTreeMap;
+
+/// One discovered bug.
+#[derive(Debug, Clone)]
+pub struct BugFinding {
+    /// The fault's stable id (dedup key).
+    pub fault_id: String,
+    /// Target it was found in.
+    pub dialect: DialectId,
+    /// Crash classification.
+    pub kind: CrashKind,
+    /// Stage of the crash.
+    pub stage: Stage,
+    /// Function category (Table 4's "Function Type").
+    pub category: FunctionCategory,
+    /// The pattern the corpus credits (Table 4 ground truth).
+    pub credited_pattern: PatternId,
+    /// The pattern whose generated statement actually triggered it first.
+    pub found_by_pattern: PatternId,
+    /// Function the crash occurred in.
+    pub function: Option<String>,
+    /// The triggering statement.
+    pub poc: String,
+    /// How many statements had been executed when it fired.
+    pub statements_until_found: usize,
+    /// Whether the paper reports the bug fixed.
+    pub fixed: bool,
+}
+
+/// The result of one campaign against one target.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Target tested.
+    pub dialect: DialectId,
+    /// Statements executed (the budget actually spent).
+    pub statements_executed: usize,
+    /// Unique bugs found, in discovery order.
+    pub findings: Vec<BugFinding>,
+    /// Resource-limit kills (the paper's false-positive class).
+    pub false_positives: usize,
+    /// Ordinary SQL errors observed.
+    pub errors: usize,
+    /// Distinct built-in functions triggered (Table 5 metric).
+    pub functions_triggered: usize,
+    /// Branches covered in the function component (Table 6 metric).
+    pub branches_covered: usize,
+}
+
+impl CampaignReport {
+    /// Findings per crash kind, Table 4 legend order.
+    pub fn by_kind(&self) -> Vec<(CrashKind, usize)> {
+        CrashKind::ALL
+            .iter()
+            .map(|k| (*k, self.findings.iter().filter(|f| f.kind == *k).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// Findings per credited pattern.
+    pub fn by_pattern(&self) -> Vec<(PatternId, usize)> {
+        PatternId::ALL
+            .iter()
+            .map(|p| (*p, self.findings.iter().filter(|f| f.credited_pattern == *p).count()))
+            .filter(|(_, n)| *n > 0)
+            .collect()
+    }
+
+    /// Findings per pattern *group* (1 = literals, 2 = castings,
+    /// 3 = nested), using the discovering pattern.
+    pub fn by_found_group(&self) -> [usize; 3] {
+        let mut out = [0usize; 3];
+        for f in &self.findings {
+            out[f.found_by_pattern.group() as usize - 1] += 1;
+        }
+        out
+    }
+
+    /// Findings grouped per category, as Table 4 rows.
+    pub fn table4_rows(&self) -> Vec<(FunctionCategory, usize, String, String)> {
+        let mut rows: BTreeMap<FunctionCategory, Vec<&BugFinding>> = BTreeMap::new();
+        for f in &self.findings {
+            rows.entry(f.category).or_default().push(f);
+        }
+        rows.into_iter()
+            .map(|(cat, fs)| {
+                let mut kinds: BTreeMap<&'static str, usize> = BTreeMap::new();
+                let mut pats: BTreeMap<&'static str, usize> = BTreeMap::new();
+                for f in &fs {
+                    *kinds.entry(f.kind.abbrev()).or_insert(0) += 1;
+                    *pats.entry(f.credited_pattern.label()).or_insert(0) += 1;
+                }
+                let kind_s = kinds
+                    .iter()
+                    .map(|(k, n)| format!("{k}({n})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let pat_s = pats
+                    .iter()
+                    .map(|(p, n)| format!("{p}({n})"))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                (cat, fs.len(), kind_s, pat_s)
+            })
+            .collect()
+    }
+
+    /// Number of findings marked fixed.
+    pub fn fixed_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.fixed).count()
+    }
+}
+
+/// Renders a set of per-dialect reports as a Table 4-style text table.
+pub fn render_table4(reports: &[CampaignReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:<14} {:<6} {:<34} {:<34} {}\n",
+        "DBMS", "Function Type", "Bugs", "Bug Types", "Patterns", "Status"
+    ));
+    let mut total = 0usize;
+    let mut total_fixed = 0usize;
+    for r in reports {
+        for (cat, n, kinds, pats) in r.table4_rows() {
+            let fixed = r
+                .findings
+                .iter()
+                .filter(|f| f.category == cat && f.fixed)
+                .count();
+            out.push_str(&format!(
+                "{:<12} {:<14} {:<6} {:<34} {:<34} {} confirmed, {} fixed\n",
+                r.dialect.name(),
+                cat.label(),
+                n,
+                kinds,
+                pats,
+                n,
+                fixed
+            ));
+        }
+        total += r.findings.len();
+        total_fixed += r.fixed_count();
+    }
+    out.push_str(&format!(
+        "TOTAL: {total} bugs, {total_fixed} fixed\n"
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(kind: CrashKind, pattern: PatternId, cat: FunctionCategory) -> BugFinding {
+        BugFinding {
+            fault_id: format!("{}-{}", kind.abbrev(), pattern.label()),
+            dialect: DialectId::Mysql,
+            kind,
+            stage: Stage::Execution,
+            category: cat,
+            credited_pattern: pattern,
+            found_by_pattern: pattern,
+            function: Some("f".into()),
+            poc: "SELECT f(NULL)".into(),
+            statements_until_found: 10,
+            fixed: true,
+        }
+    }
+
+    fn report() -> CampaignReport {
+        CampaignReport {
+            dialect: DialectId::Mysql,
+            statements_executed: 100,
+            findings: vec![
+                finding(CrashKind::NullPointerDereference, PatternId::P1_2, FunctionCategory::String),
+                finding(CrashKind::NullPointerDereference, PatternId::P3_3, FunctionCategory::String),
+                finding(CrashKind::StackOverflow, PatternId::P2_1, FunctionCategory::Json),
+            ],
+            false_positives: 2,
+            errors: 5,
+            functions_triggered: 40,
+            branches_covered: 900,
+        }
+    }
+
+    #[test]
+    fn aggregations() {
+        let r = report();
+        assert_eq!(r.by_kind(), vec![
+            (CrashKind::NullPointerDereference, 2),
+            (CrashKind::StackOverflow, 1)
+        ]);
+        assert_eq!(r.by_found_group(), [1, 1, 1]);
+        assert_eq!(r.fixed_count(), 3);
+        let rows = r.table4_rows();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].1 + rows[1].1, 3);
+    }
+
+    #[test]
+    fn table4_rendering_mentions_everything() {
+        let text = render_table4(&[report()]);
+        assert!(text.contains("MySQL"));
+        assert!(text.contains("NPD(2)"));
+        assert!(text.contains("P1.2(1)"));
+        assert!(text.contains("TOTAL: 3 bugs, 3 fixed"));
+    }
+}

@@ -1,0 +1,611 @@
+//! The seven simulated DBMS dialect profiles.
+//!
+//! A profile bundles everything SOFT (or a baseline) needs to test one
+//! target: an engine configuration (strictness, limits), a function catalog
+//! with dialect-flavoured names, the synthesised documentation, the seed
+//! test suite, and the Table-4 fault corpus.
+
+use crate::docs::{self, DocFunction};
+use crate::faults::{self, CorpusFault};
+use crate::seeds;
+use soft_engine::fault::FaultSet;
+use soft_engine::registry::{FunctionRegistry, Limits};
+use soft_engine::{Engine, EngineConfig};
+use soft_types::cast::CastStrictness;
+
+/// The simulated DBMS targets, named after the systems the paper tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DialectId {
+    /// PostgreSQL-like: strict type system, few boundary bugs (§7.3).
+    Postgres,
+    /// MySQL-like.
+    Mysql,
+    /// MariaDB-like (adds dynamic columns, sequences).
+    Mariadb,
+    /// ClickHouse-like: the largest function catalog (camelCase aliases).
+    Clickhouse,
+    /// MonetDB-like: the smallest catalog.
+    Monetdb,
+    /// DuckDB-like: arrays/maps/try_cast.
+    Duckdb,
+    /// Virtuoso-like.
+    Virtuoso,
+}
+
+impl DialectId {
+    /// All seven targets, in the paper's order.
+    pub const ALL: [DialectId; 7] = [
+        DialectId::Postgres,
+        DialectId::Mysql,
+        DialectId::Mariadb,
+        DialectId::Clickhouse,
+        DialectId::Monetdb,
+        DialectId::Duckdb,
+        DialectId::Virtuoso,
+    ];
+
+    /// Display name matching the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DialectId::Postgres => "PostgreSQL",
+            DialectId::Mysql => "MySQL",
+            DialectId::Mariadb => "MariaDB",
+            DialectId::Clickhouse => "ClickHouse",
+            DialectId::Monetdb => "MonetDB",
+            DialectId::Duckdb => "DuckDB",
+            DialectId::Virtuoso => "Virtuoso",
+        }
+    }
+
+    /// Stable lowercase key used in fault ids and reports.
+    pub fn key(&self) -> &'static str {
+        match self {
+            DialectId::Postgres => "postgresql",
+            DialectId::Mysql => "mysql",
+            DialectId::Mariadb => "mariadb",
+            DialectId::Clickhouse => "clickhouse",
+            DialectId::Monetdb => "monetdb",
+            DialectId::Duckdb => "duckdb",
+            DialectId::Virtuoso => "virtuoso",
+        }
+    }
+}
+
+impl std::fmt::Display for DialectId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully built dialect profile.
+#[derive(Debug, Clone)]
+pub struct DialectProfile {
+    /// Which target this is.
+    pub id: DialectId,
+    /// Engine configuration.
+    pub config: EngineConfig,
+    /// The function catalog.
+    pub registry: FunctionRegistry,
+    /// Synthesised documentation (one example per exposed name).
+    pub documentation: Vec<DocFunction>,
+    /// The seed test suite.
+    pub seed_corpus: Vec<String>,
+    /// The Table-4 fault corpus (with witnesses).
+    pub faults: Vec<CorpusFault>,
+}
+
+impl DialectProfile {
+    /// Builds the profile for a target.
+    pub fn build(id: DialectId) -> DialectProfile {
+        let registry = build_registry(id);
+        let documentation = docs::documentation(&registry);
+        let seed_corpus = seeds::seed_corpus(id);
+        let faults = faults::build_corpus(id, &registry);
+        let config = EngineConfig {
+            name: id.name().to_string(),
+            strictness: match id {
+                DialectId::Postgres | DialectId::Monetdb => CastStrictness::Strict,
+                _ => CastStrictness::Lenient,
+            },
+            limits: Limits::default(),
+        };
+        DialectProfile { id, config, registry, documentation, seed_corpus, faults }
+    }
+
+    /// Builds all seven profiles.
+    pub fn all() -> Vec<DialectProfile> {
+        DialectId::ALL.into_iter().map(DialectProfile::build).collect()
+    }
+
+    /// Creates a fresh engine instance for this target, faults armed.
+    pub fn engine(&self) -> Engine {
+        let faults =
+            FaultSet::new(self.faults.iter().map(|f| f.spec.clone()).collect());
+        Engine::new(self.config.clone(), self.registry.clone(), faults)
+    }
+
+    /// Creates a fault-free engine (the "fixed" build), for differential
+    /// checks.
+    pub fn engine_without_faults(&self) -> Engine {
+        Engine::new(self.config.clone(), self.registry.clone(), FaultSet::default())
+    }
+}
+
+/// Removes a set of canonical names from a registry.
+fn remove_all(r: &mut FunctionRegistry, names: &[&str]) {
+    for n in names {
+        r.remove(n);
+    }
+}
+
+/// ClickHouse-style camelCase from a snake_case canonical name.
+fn camel_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    let mut upper_next = false;
+    for c in name.chars() {
+        if c == '_' {
+            upper_next = true;
+        } else if upper_next {
+            out.extend(c.to_uppercase());
+            upper_next = false;
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn base_registry() -> FunctionRegistry {
+    let mut r = FunctionRegistry::new();
+    soft_engine::functions::install_all(&mut r);
+    soft_engine::functions::install_common_aliases(&mut r);
+    r
+}
+
+/// MySQL/MariaDB-only surface removed from other dialects.
+const MYSQLISMS: &[&str] = &[
+    "column_create",
+    "column_json",
+    "column_get",
+    "elt",
+    "field",
+    "find_in_set",
+    "export_set",
+    "updatexml",
+    "extractvalue",
+    "benchmark",
+];
+
+/// ClickHouse-style conversion helpers.
+const CLICKHOUSEISMS: &[&str] = &["todecimalstring", "tostring", "toint64", "tofloat64"];
+
+fn build_registry(id: DialectId) -> FunctionRegistry {
+    let mut r = base_registry();
+    match id {
+        DialectId::Postgres => {
+            remove_all(&mut r, MYSQLISMS);
+            remove_all(&mut r, CLICKHOUSEISMS);
+            remove_all(&mut r, &["nextval", "currval", "lastval", "setval"]);
+            // Re-add sequences: PostgreSQL does have them.
+            r.alias("nextval", "nextval");
+            // PostgreSQL spellings.
+            for (alias, canonical) in [
+                ("pg_typeof", "typeof"),
+                ("char_length", "char_length"),
+                ("lower_inf", "isnull"),
+                ("array_cat", "array_concat"),
+                ("array_upper", "array_length"),
+                ("jsonb_array_length", "json_length"),
+                ("jsonb_typeof", "json_type"),
+                ("jsonb_object_keys", "json_keys"),
+                ("to_json", "tojsonstring"),
+                ("quote_literal", "quote"),
+                ("quote_ident", "quote"),
+                ("btrim", "trim"),
+                ("strpos", "instr"),
+                ("substring_index", "split_part"),
+                ("date_part", "year"),
+                ("date_trunc", "date"),
+                ("width_bucket", "least"),
+                ("string_to_array", "split_part"),
+                ("encode", "to_base64"),
+                ("decode", "from_base64"),
+                ("gen_random_uuid", "uuid"),
+                ("setseed", "rand"),
+                ("random", "rand"),
+                ("st_geomfromewkt", "st_geomfromtext"),
+                ("st_asewkt", "st_astext"),
+                ("st_numgeometries", "st_numpoints"),
+                ("st_perimeter", "st_length"),
+                ("st_centroid", "st_envelope"),
+                ("st_within", "st_contains"),
+                ("jsonb_pretty", "tojsonstring"),
+                ("json_array_length", "json_length"),
+                ("json_each", "json_keys"),
+                ("json_build_object", "json_object"),
+                ("json_build_array", "json_array"),
+                ("json_strip_nulls", "json_remove"),
+                ("regexp_match", "regexp_substr"),
+                ("regexp_count", "regexp_instr"),
+                ("parse_ident", "split_part"),
+                ("to_hex", "hex"),
+                ("get_byte", "ascii"),
+                ("bit_and_agg", "bit_and"),
+                ("bit_or_agg", "bit_or"),
+                ("every", "bool_and"),
+                ("unistr", "chr"),
+                ("to_timestamp", "from_unixtime"),
+                ("make_date", "makedate"),
+                ("make_time", "maketime"),
+                ("make_interval", "sec_to_time"),
+                ("justify_days", "to_days"),
+                ("age", "datediff"),
+                ("isfinite", "is_ipv4"),
+                ("clock_timestamp", "now"),
+                ("statement_timestamp", "now"),
+                ("transaction_timestamp", "now"),
+                ("timeofday", "curtime"),
+            ] {
+                r.alias(alias, canonical);
+            }
+        }
+        DialectId::Mysql => {
+            remove_all(&mut r, CLICKHOUSEISMS);
+            remove_all(
+                &mut r,
+                &[
+                    "split_part", "translate", "initcap", "string_agg", "bool_and", "bool_or",
+                    "median", "array_agg", "jsonb_object_agg", "nextval", "currval", "lastval",
+                    "setval", "list_value", "array_slice", "array_sort", "array_min", "array_max",
+                    "array_sum", "map_from_entries", "cardinality", "element_at", "try_cast",
+                    "column_create", "column_json", "column_get", "chr", "to_char", "to_number",
+                    "to_date", "tojsonstring", "typeof", "split_part", "starts_with", "ends_with",
+                    "factorial", "gcd", "lcm", "cbrt", "decode",
+                ],
+            );
+            for (alias, canonical) in [
+                ("json_merge_patch", "json_merge"),
+                ("json_pretty", "json_unquote"),
+                ("json_storage_size", "json_depth"),
+                ("weight_string", "quote"),
+                ("oct", "hex"),
+                ("ord", "ascii"),
+                ("bin", "hex"),
+                ("yearweek", "week"),
+                ("to_seconds", "to_days"),
+                ("utc_timestamp", "now"),
+                ("utc_date", "curdate"),
+                ("utc_time", "curtime"),
+                ("sysdate", "now"),
+                ("convert_tz", "date"),
+                ("make_set", "elt"),
+                ("substring_index", "left"),
+                ("crc32", "bit_length"),
+                ("uncompressed_length", "length"),
+                ("is_uuid", "is_ipv4"),
+                ("any_value", "min"),
+                ("json_overlaps", "json_contains"),
+                ("json_value", "json_extract"),
+                ("st_srid", "st_dimension"),
+                ("st_isvalid", "st_isempty"),
+                ("mbrcontains", "st_contains"),
+                ("mbrequals", "st_equals"),
+            ] {
+                r.alias(alias, canonical);
+            }
+        }
+        DialectId::Mariadb => {
+            remove_all(&mut r, CLICKHOUSEISMS);
+            remove_all(
+                &mut r,
+                &[
+                    "split_part", "initcap", "bool_and", "bool_or", "array_agg", "list_value",
+                    "array_slice", "array_sort", "array_min", "array_max", "array_sum",
+                    "map_from_entries", "cardinality", "element_at", "try_cast",
+                    "jsonb_object_agg", "chr", "to_number", "tojsonstring", "typeof",
+                    "starts_with", "ends_with", "factorial", "gcd", "lcm", "cbrt", "decode",
+                    "to_date",
+                ],
+            );
+            for (alias, canonical) in [
+                ("json_detailed", "json_unquote"),
+                ("json_compact", "json_unquote"),
+                ("json_exists", "json_contains"),
+                ("json_query", "json_extract"),
+                ("value_compare", "strcmp"),
+                ("del_privileges", "version"),
+                ("spider_bg_direct_sql", "version"),
+                ("lastval_helper", "lastval"),
+                ("sformat", "format"),
+                ("natural_sort_key", "soundex"),
+                ("sysdate", "now"),
+                ("add_months", "date_add"),
+                ("oct", "hex"),
+                ("ord", "ascii"),
+            ] {
+                r.alias(alias, canonical);
+            }
+        }
+        DialectId::Clickhouse => {
+            remove_all(&mut r, MYSQLISMS);
+            // CamelCase aliases for the whole catalog — this is why the
+            // ClickHouse-like target exposes by far the most names
+            // (Table 5's ordering).
+            let canonical: Vec<&'static str> = r.defs().iter().map(|d| d.name).collect();
+            for name in canonical {
+                let cc = camel_case(name);
+                if cc != name {
+                    r.alias(&cc, name);
+                }
+            }
+            for (alias, canonical) in [
+                ("toUpperCase", "upper"),
+                ("toLowerCase", "lower"),
+                ("lengthUTF8", "char_length"),
+                ("reverseUTF8", "reverse"),
+                ("substringUTF8", "substr"),
+                ("positionCaseInsensitive", "position"),
+                ("arrayElement", "element_at"),
+                ("arrayConcat", "array_concat"),
+                ("arrayPushBack", "array_append"),
+                ("arrayPushFront", "array_prepend"),
+                ("arrayDistinct", "array_distinct"),
+                ("arrayReverse", "array_reverse"),
+                ("arraySort", "array_sort"),
+                ("arrayMin", "array_min"),
+                ("arrayMax", "array_max"),
+                ("arraySum", "array_sum"),
+                ("arraySlice", "array_slice"),
+                ("has", "array_contains"),
+                ("indexOf", "array_position"),
+                ("mapKeys", "map_keys"),
+                ("mapValues", "map_values"),
+                ("mapContains", "map_contains_key"),
+                ("toInt32", "toint64"),
+                ("toInt8", "toint64"),
+                ("toUInt64", "toint64"),
+                ("toFloat32", "tofloat64"),
+                ("toDate", "to_date"),
+                ("toDateTime", "str_to_date"),
+                ("formatDateTime", "date_format"),
+                ("toYear", "year"),
+                ("toMonth", "month"),
+                ("toDayOfMonth", "day"),
+                ("toDayOfWeek", "dayofweek"),
+                ("toHour", "hour"),
+                ("toMinute", "minute"),
+                ("toSecond", "second"),
+                ("toStartOfMonth", "last_day"),
+                ("toQuarter", "quarter"),
+                ("toUnixTimestamp", "unix_timestamp"),
+                ("addDays", "date_add"),
+                ("subtractDays", "date_sub"),
+                ("plus", "pow"),
+                ("minus", "mod"),
+                ("intDiv", "div"),
+                ("modulo", "mod"),
+                ("emptyArrayInt64", "list_value"),
+                ("notEmpty", "length"),
+                ("empty", "length"),
+                ("JSONLength", "json_length"),
+                ("JSONExtractRaw", "json_extract"),
+                ("JSONHas", "json_contains"),
+                ("JSONType", "json_type"),
+                ("isValidJSON", "json_valid"),
+                ("visitParamHas", "json_contains"),
+                ("IPv4NumToString", "inet_ntoa"),
+                ("IPv4StringToNum", "inet_aton"),
+                ("IPv6StringToNum", "inet6_aton"),
+                ("IPv6NumToString", "inet6_ntoa"),
+                ("generateUUIDv4", "uuid"),
+                ("cityHash64", "md5"),
+                ("sipHash64", "sha1"),
+                ("halfMD5", "md5"),
+                ("hostName", "database"),
+                ("currentUser", "user"),
+                ("bitAnd", "bit_and"),
+                ("bitOr", "bit_or"),
+                ("bitXor", "bit_xor"),
+                ("e", "pi"),
+                ("erf", "exp"),
+                ("lgamma", "ln"),
+                ("tgamma", "exp"),
+                ("roundToExp2", "round"),
+                ("roundDuration", "round"),
+                ("roundAge", "round"),
+            ] {
+                r.alias(alias, canonical);
+            }
+        }
+        DialectId::Monetdb => {
+            remove_all(&mut r, MYSQLISMS);
+            remove_all(&mut r, CLICKHOUSEISMS);
+            remove_all(
+                &mut r,
+                &[
+                    // MonetDB-like: the smallest surface.
+                    "json_set", "json_insert", "json_replace", "json_remove", "json_search",
+                    "json_merge", "json_keys", "json_quote", "json_unquote", "json_contains",
+                    "json_array", "json_object", "json_depth", "updatexml", "extractvalue",
+                    "xml_valid", "beautify_xml", "st_contains", "st_equals", "st_distance",
+                    "st_envelope", "boundary", "st_isempty", "st_aswkb", "st_geomfromwkb",
+                    "linestring", "point", "st_x", "st_y", "st_dimension", "st_numpoints",
+                    "st_length", "st_area", "st_geometrytype", "array_agg", "list_value",
+                    "array_slice", "array_sort", "array_min", "array_max", "array_sum",
+                    "array_concat", "array_append", "array_prepend", "array_contains",
+                    "array_position", "array_distinct", "array_reverse", "array_length",
+                    "map", "map_keys", "map_values", "map_contains_key", "map_from_entries",
+                    "cardinality", "element_at", "try_cast", "group_concat", "json_arrayagg",
+                    "json_objectagg", "jsonb_object_agg", "export_set", "elt", "field",
+                    "find_in_set", "soundex", "from_base64", "to_base64", "date_format",
+                    "str_to_date", "makedate", "maketime", "period_add", "period_diff",
+                    "from_unixtime", "addtime", "subtime", "sha2", "uuid", "benchmark",
+                    "inet_aton", "inet_ntoa", "inet6_aton", "inet6_ntoa", "is_ipv4", "is_ipv6",
+                    "decode", "nvl2",
+                ],
+            );
+            r.alias("sql_min", "least");
+            r.alias("sql_max", "greatest");
+            r.alias("ms_trunc", "truncate");
+            r.alias("ms_round", "round");
+            r.alias("code", "chr");
+        }
+        DialectId::Duckdb => {
+            remove_all(&mut r, MYSQLISMS);
+            remove_all(&mut r, CLICKHOUSEISMS);
+            remove_all(&mut r, &["nextval", "currval", "lastval", "setval"]);
+            for (alias, canonical) in [
+                ("list_element", "element_at"),
+                ("list_extract", "element_at"),
+                ("list_append", "array_append"),
+                ("list_prepend", "array_prepend"),
+                ("list_concat", "array_concat"),
+                ("list_distinct", "array_distinct"),
+                ("list_reverse", "array_reverse"),
+                ("list_sort", "array_sort"),
+                ("list_min", "array_min"),
+                ("list_max", "array_max"),
+                ("list_sum", "array_sum"),
+                ("list_position", "array_position"),
+                ("len", "length"),
+                ("strlen", "length"),
+                ("prefix", "starts_with"),
+                ("suffix", "ends_with"),
+                ("string_split", "split_part"),
+                ("str_split", "split_part"),
+                ("regexp_full_match", "regexp_like"),
+                ("regexp_extract", "regexp_substr"),
+                ("to_base", "hex"),
+                ("nextafter", "pow"),
+                ("fdiv", "div"),
+                ("fmod", "mod"),
+                ("list_aggregate", "array_sum"),
+                ("struct_pack", "map"),
+                ("current_setting", "version"),
+                ("txid_current", "connection_id"),
+                ("strftime", "date_format"),
+                ("strptime", "str_to_date"),
+                ("epoch", "unix_timestamp"),
+                ("epoch_ms", "unix_timestamp"),
+            ] {
+                r.alias(alias, canonical);
+            }
+        }
+        DialectId::Virtuoso => {
+            remove_all(&mut r, CLICKHOUSEISMS);
+            remove_all(
+                &mut r,
+                &[
+                    "column_create", "column_json", "column_get", "array_agg", "list_value",
+                    "array_sort", "array_min", "array_max", "array_sum", "map_from_entries",
+                    "try_cast", "median", "find_in_set", "export_set", "elt",
+                ],
+            );
+            for (alias, canonical) in [
+                ("aref", "element_at"),
+                ("vector_helper", "map"),
+                ("subseq", "substr"),
+                ("strstr", "instr"),
+                ("strchr", "instr"),
+                ("strrchr", "instr"),
+                ("ucase_helper", "upper"),
+                ("lcase_helper", "lower"),
+                ("chr1", "chr"),
+                ("sprintf", "format"),
+                ("atoi", "toint64"),
+                ("atof", "tofloat64"),
+                ("dv_type_title", "typeof"),
+                ("xpath_eval", "extractvalue"),
+                ("xtree_doc", "xml_valid"),
+                ("xml_cut", "beautify_xml"),
+                ("st_geomfromtext_v", "st_geomfromtext"),
+                ("http_url", "quote"),
+                ("split_and_decode", "split_part"),
+                ("trx_helper", "connection_id"),
+                ("sequence_next", "nextval"),
+                ("sequence_set", "setval"),
+            ] {
+                r.alias(alias, canonical);
+            }
+        }
+    }
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_profiles_build() {
+        let all = DialectProfile::all();
+        assert_eq!(all.len(), 7);
+        for p in &all {
+            assert!(p.registry.name_count() > 80, "{}: catalog too small", p.id);
+            assert!(!p.documentation.is_empty());
+            assert!(!p.seed_corpus.is_empty());
+        }
+    }
+
+    #[test]
+    fn catalog_size_ordering_matches_table5() {
+        // Table 5: ClickHouse > PostgreSQL > MySQL > MariaDB > MonetDB.
+        let size = |id| DialectProfile::build(id).registry.name_count();
+        let ch = size(DialectId::Clickhouse);
+        let pg = size(DialectId::Postgres);
+        let my = size(DialectId::Mysql);
+        let ma = size(DialectId::Mariadb);
+        let mo = size(DialectId::Monetdb);
+        assert!(ch > pg, "clickhouse {ch} <= postgres {pg}");
+        assert!(pg > my, "postgres {pg} <= mysql {my}");
+        assert!(my > ma, "mysql {my} <= mariadb {ma}");
+        assert!(ma > mo, "mariadb {ma} <= monetdb {mo}");
+    }
+
+    #[test]
+    fn strictness_assignment() {
+        assert_eq!(
+            DialectProfile::build(DialectId::Postgres).config.strictness,
+            CastStrictness::Strict
+        );
+        assert_eq!(
+            DialectProfile::build(DialectId::Mysql).config.strictness,
+            CastStrictness::Lenient
+        );
+    }
+
+    #[test]
+    fn engines_are_independent() {
+        let p = DialectProfile::build(DialectId::Mysql);
+        let mut a = p.engine();
+        let mut b = p.engine();
+        a.execute("CREATE TABLE only_in_a (x INTEGER)");
+        assert!(matches!(
+            b.execute("SELECT * FROM only_in_a"),
+            soft_engine::ExecOutcome::Error(_)
+        ));
+    }
+
+    #[test]
+    fn camel_case_conversion() {
+        assert_eq!(camel_case("array_length"), "arrayLength");
+        assert_eq!(camel_case("upper"), "upper");
+        assert_eq!(camel_case("json_object_agg"), "jsonObjectAgg");
+    }
+
+    #[test]
+    fn fault_free_engine_never_crashes_on_witnesses() {
+        for id in DialectId::ALL {
+            let p = DialectProfile::build(id);
+            let mut clean = p.engine_without_faults();
+            for f in &p.faults {
+                let out = clean.execute(&f.witness);
+                assert!(
+                    !out.is_crash(),
+                    "{id:?}: fixed engine crashed on {}",
+                    f.witness
+                );
+            }
+        }
+    }
+}

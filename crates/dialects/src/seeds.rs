@@ -1,0 +1,152 @@
+//! Per-dialect seed query corpora — the stand-in for each DBMS's regression
+//! test suite, SOFT's second collection source (§7.1).
+//!
+//! Each corpus is a small script: table creation, data insertion, and
+//! function-bearing SELECTs in the styles the paper's Finding 4 describes
+//! (47.5 % of PoCs need tables + data, 41.5 % are table-free, 11 % need
+//! empty tables).
+
+use crate::profile::DialectId;
+
+/// Shared schema/data preparation used by every dialect corpus.
+pub const SHARED_PREP: &[&str] = &[
+    "CREATE TABLE t1 (a INTEGER, b TEXT, c DOUBLE)",
+    "INSERT INTO t1 VALUES (1, 'alpha', 1.5), (2, 'beta', 2.5), (3, 'gamma', -0.5)",
+    "CREATE TABLE t2 (k TEXT, v INTEGER)",
+    "INSERT INTO t2 VALUES ('x', 10), ('x', 20), ('y', 30)",
+    "CREATE TABLE t3 (d TEXT, j TEXT)",
+    "INSERT INTO t3 VALUES ('2024-01-15', '{\"n\": 1}'), ('2024-02-29', '[1, 2, 3]')",
+    "CREATE TABLE empty1 (a INTEGER NOT NULL, b VARCHAR(32))",
+];
+
+/// Function-bearing queries every dialect's suite includes.
+pub const SHARED_QUERIES: &[&str] = &[
+    "SELECT UPPER(b), LENGTH(b) FROM t1",
+    "SELECT CONCAT(b, '-', b) FROM t1 WHERE a > 1",
+    "SELECT SUBSTR(b, 1, 3) FROM t1 ORDER BY a",
+    "SELECT REPLACE(b, 'a', 'o') FROM t1",
+    "SELECT TRIM('  pad  ')",
+    "SELECT REPEAT(b, 2) FROM t1 LIMIT 2",
+    "SELECT COUNT(*), SUM(a), AVG(c) FROM t1",
+    "SELECT k, COUNT(v), MAX(v) FROM t2 GROUP BY k HAVING COUNT(v) > 1",
+    "SELECT MIN(a), MAX(b) FROM t1",
+    "SELECT ABS(c), ROUND(c, 1), FLOOR(c) FROM t1",
+    "SELECT MOD(a, 2), POW(a, 2) FROM t1",
+    "SELECT GREATEST(1, 2, 3), LEAST(4, 5, 6)",
+    "SELECT COALESCE(NULL, b) FROM t1",
+    "SELECT IFNULL(NULL, 42)",
+    "SELECT NULLIF(a, 2) FROM t1",
+    "SELECT YEAR(d), MONTH(d) FROM t3",
+    "SELECT DATEDIFF('2024-03-01', d) FROM t3",
+    "SELECT JSON_VALID(j), JSON_LENGTH(j) FROM t3",
+    "SELECT CAST(a AS TEXT), CAST(c AS INTEGER) FROM t1",
+    "SELECT HEX(a), LOWER(HEX(b)) FROM t1",
+    "SELECT a FROM t1 WHERE b LIKE '%a%'",
+    "SELECT COUNT(a) FROM empty1",
+    "SELECT DISTINCT k FROM t2",
+    "SELECT v * 2 FROM t2 UNION SELECT a FROM t1",
+    "SELECT (SELECT MAX(v) FROM t2)",
+    "SELECT GROUP_CONCAT(b) FROM t1",
+    "SELECT STRCMP(b, 'beta') FROM t1",
+    "SELECT INSTR(b, 'a'), LOCATE('a', b) FROM t1",
+    "SELECT LPAD(b, 8, '*') FROM t1",
+    "SELECT REVERSE(b) FROM t1",
+    "SELECT LENGTH(x'01020304')",
+    "SELECT DATE_ADD('2024-01-15', INTERVAL 10 DAY)",
+];
+
+/// Extra dialect-flavoured queries.
+pub fn dialect_queries(id: DialectId) -> &'static [&'static str] {
+    match id {
+        DialectId::Postgres => &[
+            "SELECT SPLIT_PART('a,b,c', ',', 2)",
+            "SELECT INITCAP('hello world')",
+            "SELECT TRANSLATE('abc', 'ab', 'xy')",
+            "SELECT STRING_AGG(b) FROM t1",
+            "SELECT '123'::INTEGER + 1",
+            "SELECT JSONB_OBJECT_AGG(k, v) FROM t2",
+            "SELECT REGEXP_REPLACE(b, 'a+', '_') FROM t1",
+            "SELECT TO_CHAR(c) FROM t1",
+        ],
+        DialectId::Mysql => &[
+            "SELECT ELT(2, 'a', 'b', 'c')",
+            "SELECT FIELD('b', 'a', 'b')",
+            "SELECT FIND_IN_SET('b', 'a,b,c')",
+            "SELECT EXPORT_SET(5, 'Y', 'N')",
+            "SELECT UpdateXML('<a><c></c></a>', '/a/c[1]', '<b></b>')",
+            "SELECT ExtractValue('<a><b>x</b></a>', '/a/b')",
+            "SELECT DATE_FORMAT(d, '%Y/%m') FROM t3",
+            "SELECT CONCAT_WS('-', b, b) FROM t1",
+            "SELECT INET_ATON('10.0.0.1'), INET_NTOA(167772161)",
+            "SELECT BENCHMARK(10, 1)",
+        ],
+        DialectId::Mariadb => &[
+            "SELECT COLUMN_JSON(COLUMN_CREATE('x', 1))",
+            "SELECT COLUMN_GET(COLUMN_CREATE('x', 7), 'x')",
+            "SELECT JSON_EXTRACT(j, '$.n') FROM t3",
+            "SELECT ST_ASTEXT(ST_GEOMFROMTEXT('POINT(1 2)'))",
+            "SELECT INET6_NTOA(INET6_ATON('::1'))",
+            "SELECT FORMAT(12345.678, 2)",
+            "SELECT NEXTVAL('s1'), NEXTVAL('s1')",
+            "SELECT SOUNDEX('Robert')",
+        ],
+        DialectId::Clickhouse => &[
+            "SELECT toString(42)",
+            "SELECT toInt64('17') + 1",
+            "SELECT toDecimalString(1.25, 4)",
+            "SELECT element_at([10, 20, 30], 2)",
+            "SELECT array_concat([1], [2, 3])",
+            "SELECT map_keys(MAP('k', 1))",
+            "SELECT arrayDistinct([1, 1, 2])",
+            "SELECT startsWith(b, 'a') FROM t1",
+        ],
+        DialectId::Monetdb => &[
+            "SELECT ASCII(k), CHAR(65, 66) FROM t2",
+            "SELECT MEDIAN(v) FROM t2",
+            "SELECT STDDEV_SAMP(v) FROM t2",
+            "SELECT SPLIT_PART('x|y', '|', 1)",
+            "SELECT TRANSLATE(k, 'xy', 'ab') FROM t2",
+        ],
+        DialectId::Duckdb => &[
+            "SELECT list_value(1, 2, 3)",
+            "SELECT array_slice([1, 2, 3, 4], 2, 3)",
+            "SELECT array_sort([3, 1, 2])",
+            "SELECT map_from_entries([ROW('a', 1)])",
+            "SELECT TRY_CAST('xyz', 'INTEGER')",
+            "SELECT array_contains([1, 2], a) FROM t1",
+            "SELECT MEDIAN(a) FROM t1",
+        ],
+        DialectId::Virtuoso => &[
+            "SELECT CONTAINS(b, 'a') FROM t1",
+            "SELECT REGEXP_LIKE(b, '^a') FROM t1",
+            "SELECT SIGN(c) FROM t1",
+            "SELECT COT(0.7)",
+            "SELECT BIT_AND(v), BIT_OR(v) FROM t2",
+        ],
+    }
+}
+
+/// The full seed script for a dialect (prep + shared + dialect queries).
+pub fn seed_corpus(id: DialectId) -> Vec<String> {
+    let mut out: Vec<String> = SHARED_PREP.iter().map(|s| s.to_string()).collect();
+    out.extend(SHARED_QUERIES.iter().map(|s| s.to_string()));
+    out.extend(dialect_queries(id).iter().map(|s| s.to_string()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpora_are_nonempty_and_parse() {
+        for id in DialectId::ALL {
+            let corpus = seed_corpus(id);
+            assert!(corpus.len() >= 35, "{id:?} corpus too small");
+            for sql in &corpus {
+                soft_parser::parse_statement(sql)
+                    .unwrap_or_else(|e| panic!("{id:?}: {sql}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Cross-dialect behavioural tests: the per-target differences the paper's
+//! evaluation leans on.
+
+use soft_dialects::{DialectId, DialectProfile};
+use soft_engine::{ExecOutcome, PatternId};
+
+#[test]
+fn every_dialect_runs_the_shared_seed_suite() {
+    for id in DialectId::ALL {
+        let profile = DialectProfile::build(id);
+        let mut engine = profile.engine();
+        let mut errors = 0usize;
+        for sql in &profile.seed_corpus {
+            match engine.execute(sql) {
+                ExecOutcome::Crash(c) => panic!("{id:?}: seed `{sql}` crashed: {c}"),
+                ExecOutcome::Error(_) => errors += 1,
+                _ => {}
+            }
+        }
+        // A few dialect-specific queries may fail on other targets'
+        // strictness; the suite must still be overwhelmingly green.
+        assert!(
+            errors * 5 <= profile.seed_corpus.len(),
+            "{id:?}: {errors}/{} seed statements errored",
+            profile.seed_corpus.len()
+        );
+    }
+}
+
+#[test]
+fn dialect_catalogs_differ_in_surface() {
+    let get = |id: DialectId| DialectProfile::build(id);
+    let ch = get(DialectId::Clickhouse);
+    let pg = get(DialectId::Postgres);
+    let my = get(DialectId::Mysql);
+    let mo = get(DialectId::Monetdb);
+    // ClickHouse-only camelCase spellings.
+    assert!(ch.registry.resolve("arrayDistinct").is_some());
+    assert!(pg.registry.resolve("arrayDistinct").is_none());
+    // MySQL/MariaDB dynamic columns are not in PostgreSQL or DuckDB.
+    assert!(get(DialectId::Mariadb).registry.resolve("column_json").is_some());
+    assert!(pg.registry.resolve("column_json").is_none());
+    // MonetDB's slim profile drops XML and spatial surfaces.
+    assert!(mo.registry.resolve("updatexml").is_none());
+    assert!(mo.registry.resolve("boundary").is_none());
+    assert!(my.registry.resolve("updatexml").is_some());
+    // PostgreSQL spellings.
+    assert!(pg.registry.resolve("jsonb_object_keys").is_some());
+    assert!(my.registry.resolve("jsonb_object_keys").is_none());
+}
+
+#[test]
+fn same_query_differs_across_strictness() {
+    // The §7.3 PostgreSQL story, end to end.
+    let cases = [
+        "SELECT UPPER(123)",
+        "SELECT LENGTH(1.5)",
+        "SELECT REVERSE(42)",
+    ];
+    let mut pg = DialectProfile::build(DialectId::Postgres).engine();
+    let mut my = DialectProfile::build(DialectId::Mysql).engine();
+    for sql in cases {
+        assert!(
+            matches!(pg.execute(sql), ExecOutcome::Error(_)),
+            "{sql} should fail under strict casting"
+        );
+        assert!(
+            matches!(my.execute(sql), ExecOutcome::Rows(_)),
+            "{sql} should succeed under lenient casting"
+        );
+    }
+}
+
+#[test]
+fn fault_sites_name_registered_functions() {
+    for id in DialectId::ALL {
+        let profile = DialectProfile::build(id);
+        for fault in &profile.faults {
+            let soft_engine::FaultSite::Function(name) = &fault.spec.site else {
+                continue;
+            };
+            assert!(
+                profile.registry.resolve(name).is_some(),
+                "{id:?}: fault {} targets unregistered function {name}",
+                fault.spec.id
+            );
+        }
+    }
+}
+
+#[test]
+fn per_dialect_pattern_distribution_matches_table4_rows() {
+    // Spot-check the per-dialect credited-pattern histograms against the
+    // published rows.
+    let expect: &[(DialectId, &[(PatternId, usize)])] = &[
+        (DialectId::Postgres, &[(PatternId::P2_3, 1)]),
+        (
+            DialectId::Clickhouse,
+            &[(PatternId::P1_2, 3), (PatternId::P2_3, 2), (PatternId::P3_1, 1)],
+        ),
+        (
+            DialectId::Mysql,
+            &[
+                (PatternId::P1_3, 1),
+                (PatternId::P2_1, 1),
+                (PatternId::P3_2, 3),
+                (PatternId::P3_3, 11),
+            ],
+        ),
+    ];
+    for (id, hist) in expect {
+        let profile = DialectProfile::build(*id);
+        for (pattern, want) in *hist {
+            let got = profile.faults.iter().filter(|f| f.spec.pattern == *pattern).count();
+            assert_eq!(got, *want, "{id:?} {pattern}");
+        }
+    }
+}
+
+#[test]
+fn witnesses_do_not_cross_dialects() {
+    // A MariaDB witness must not crash the MySQL target (different corpus),
+    // even though the engines share implementations.
+    let mariadb = DialectProfile::build(DialectId::Mariadb);
+    let mysql = DialectProfile::build(DialectId::Mysql);
+    let mut cross_crashes = 0usize;
+    for fault in &mariadb.faults {
+        let mut engine = mysql.engine();
+        if engine.execute(&fault.witness).is_crash() {
+            cross_crashes += 1;
+        }
+    }
+    // Most witnesses are dialect-specific; a few may coincide when both
+    // corpora placed similar triggers on shared functions.
+    assert!(
+        cross_crashes <= mariadb.faults.len() / 4,
+        "{cross_crashes}/{} MariaDB witnesses crashed MySQL",
+        mariadb.faults.len()
+    );
+}
+
+#[test]
+fn documentation_and_catalog_agree() {
+    for id in DialectId::ALL {
+        let profile = DialectProfile::build(id);
+        assert_eq!(profile.documentation.len(), profile.registry.name_count());
+        for doc in &profile.documentation {
+            assert!(profile.registry.resolve(&doc.name).is_some(), "{id:?}: {}", doc.name);
+        }
+    }
+}
+
+#[test]
+fn engines_reset_cleanly_after_crashes() {
+    let profile = DialectProfile::build(DialectId::Virtuoso);
+    let mut engine = profile.engine();
+    for fault in profile.faults.iter().take(10) {
+        assert!(engine.execute(&fault.witness).is_crash());
+        engine.reset_database();
+        // The engine keeps working after the "restart".
+        assert!(matches!(
+            engine.execute("SELECT UPPER('ok')"),
+            ExecOutcome::Rows(_)
+        ));
+    }
+    assert_eq!(engine.crash_log().len(), 10);
+}

@@ -1,0 +1,271 @@
+//! Errors, crash reports and the execution-outcome model.
+//!
+//! The central design decision of the reproduction: **crashes are values**.
+//! Where the paper's SOFT observes a DBMS process dying (and classifies the
+//! death from the sanitizer report), our engine surfaces an injected fault as
+//! an [`ExecOutcome::Crash`] carrying the same classification. Ordinary SQL
+//! errors — including resource-limit kills, the source of the paper's seven
+//! false positives — stay on the [`ExecOutcome::Error`] side.
+
+use soft_types::value::Value;
+use std::fmt;
+
+/// The DBMS processing stage (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Stage {
+    /// SQL text → AST.
+    Parsing,
+    /// AST → plan (constant folding, rewrites).
+    Optimization,
+    /// Plan execution.
+    Execution,
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Stage::Parsing => "parsing",
+            Stage::Optimization => "optimization",
+            Stage::Execution => "execution",
+        })
+    }
+}
+
+/// Memory-error classification, matching the paper's Table 4 legend.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashKind {
+    /// NPD.
+    NullPointerDereference,
+    /// SEGV.
+    SegmentationViolation,
+    /// HBOF.
+    HeapBufferOverflow,
+    /// GBOF.
+    GlobalBufferOverflow,
+    /// UAF.
+    UseAfterFree,
+    /// SO.
+    StackOverflow,
+    /// DBZ.
+    DivideByZero,
+    /// AF.
+    AssertionFailure,
+}
+
+impl CrashKind {
+    /// All kinds, in Table 4's legend order.
+    pub const ALL: [CrashKind; 8] = [
+        CrashKind::NullPointerDereference,
+        CrashKind::SegmentationViolation,
+        CrashKind::UseAfterFree,
+        CrashKind::HeapBufferOverflow,
+        CrashKind::GlobalBufferOverflow,
+        CrashKind::AssertionFailure,
+        CrashKind::StackOverflow,
+        CrashKind::DivideByZero,
+    ];
+
+    /// The paper's abbreviation (NPD, SEGV, ...).
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            CrashKind::NullPointerDereference => "NPD",
+            CrashKind::SegmentationViolation => "SEGV",
+            CrashKind::HeapBufferOverflow => "HBOF",
+            CrashKind::GlobalBufferOverflow => "GBOF",
+            CrashKind::UseAfterFree => "UAF",
+            CrashKind::StackOverflow => "SO",
+            CrashKind::DivideByZero => "DBZ",
+            CrashKind::AssertionFailure => "AF",
+        }
+    }
+
+    /// Parses an abbreviation.
+    pub fn from_abbrev(s: &str) -> Option<CrashKind> {
+        CrashKind::ALL.into_iter().find(|k| k.abbrev() == s)
+    }
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abbrev())
+    }
+}
+
+/// What a sanitizer report would have said: the injected fault that fired.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CrashReport {
+    /// Stable identifier of the fault (deduplication key — the analogue of
+    /// a crash signature / top stack frame).
+    pub fault_id: String,
+    /// Crash classification.
+    pub kind: CrashKind,
+    /// Stage the crash occurred in.
+    pub stage: Stage,
+    /// Function being processed, if any.
+    pub function: Option<String>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for CrashReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} in {} stage", self.kind, self.stage)?;
+        if let Some(func) = &self.function {
+            write!(f, " ({func})")?;
+        }
+        write!(f, ": {} [{}]", self.message, self.fault_id)
+    }
+}
+
+/// An ordinary (non-crash) SQL error.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// Lex/parse failure.
+    Parse(String),
+    /// Unknown table/column/function, arity mismatch, ...
+    Semantic(String),
+    /// Type mismatch / failed conversion.
+    TypeError(String),
+    /// Runtime evaluation error (bad argument value, overflow, ...).
+    Runtime(String),
+    /// The statement was killed by a resource limit (memory, output size).
+    /// Distinguishable from crashes — the paper's false-positive class.
+    ResourceLimit(String),
+    /// Feature the engine does not implement.
+    Unsupported(String),
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse(m) => write!(f, "parse error: {m}"),
+            SqlError::Semantic(m) => write!(f, "semantic error: {m}"),
+            SqlError::TypeError(m) => write!(f, "type error: {m}"),
+            SqlError::Runtime(m) => write!(f, "runtime error: {m}"),
+            SqlError::ResourceLimit(m) => write!(f, "resource limit exceeded: {m}"),
+            SqlError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Internal error channel: either an SQL error or a crash propagating to the
+/// top of the executor.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// Ordinary error.
+    Sql(SqlError),
+    /// An injected fault fired.
+    Crash(CrashReport),
+}
+
+impl From<SqlError> for EngineError {
+    fn from(e: SqlError) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Sql(e) => write!(f, "{e}"),
+            EngineError::Crash(c) => write!(f, "CRASH: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// A query result set.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ResultSet {
+    /// Column names.
+    pub columns: Vec<String>,
+    /// Row values.
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// The single value of a 1×1 result, if it is one.
+    pub fn scalar(&self) -> Option<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Some(&self.rows[0][0])
+        } else {
+            None
+        }
+    }
+}
+
+/// The observable outcome of executing one statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// A SELECT produced rows.
+    Rows(ResultSet),
+    /// A DDL/DML statement succeeded.
+    Ok(String),
+    /// The statement failed with an ordinary error.
+    Error(SqlError),
+    /// The DBMS "crashed": an injected fault fired.
+    Crash(CrashReport),
+}
+
+impl ExecOutcome {
+    /// True for the crash outcome.
+    pub fn is_crash(&self) -> bool {
+        matches!(self, ExecOutcome::Crash(_))
+    }
+
+    /// The crash report, if this is a crash.
+    pub fn crash(&self) -> Option<&CrashReport> {
+        match self {
+            ExecOutcome::Crash(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crash_kind_abbrevs_roundtrip() {
+        for k in CrashKind::ALL {
+            assert_eq!(CrashKind::from_abbrev(k.abbrev()), Some(k));
+        }
+        assert_eq!(CrashKind::from_abbrev("XYZ"), None);
+    }
+
+    #[test]
+    fn crash_report_display() {
+        let c = CrashReport {
+            fault_id: "mysql-avg-gbof".into(),
+            kind: CrashKind::GlobalBufferOverflow,
+            stage: Stage::Execution,
+            function: Some("avg".into()),
+            message: "oversized decimal literal".into(),
+        };
+        let s = c.to_string();
+        assert!(s.contains("GBOF"));
+        assert!(s.contains("avg"));
+        assert!(s.contains("mysql-avg-gbof"));
+    }
+
+    #[test]
+    fn scalar_extraction() {
+        let rs = ResultSet {
+            columns: vec!["c".into()],
+            rows: vec![vec![Value::Integer(7)]],
+        };
+        assert_eq!(rs.scalar(), Some(&Value::Integer(7)));
+        let empty = ResultSet::default();
+        assert_eq!(empty.scalar(), None);
+    }
+
+    #[test]
+    fn resource_limits_are_errors_not_crashes() {
+        let o = ExecOutcome::Error(SqlError::ResourceLimit("1 GiB".into()));
+        assert!(!o.is_crash());
+    }
+}

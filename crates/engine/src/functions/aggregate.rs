@@ -1,0 +1,445 @@
+//! Aggregate built-ins.
+//!
+//! Aggregates are the paper's second-most bug-prone category (Figure 1);
+//! they "operate on all elements of one or more columns at the same time,
+//! requiring support for various data types and values" (§4.2). Each
+//! implementation receives per-row evaluated argument vectors plus the
+//! `DISTINCT` flag.
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::decimal::Decimal;
+use soft_types::json::JsonValue;
+use soft_types::value::Value;
+use std::collections::HashSet;
+
+fn def(name: &'static str, min: usize, max: Option<usize>, f: AggregateImpl) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: C::Aggregate,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Aggregate(f),
+    }
+}
+
+/// Registers the aggregate functions.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("count", 1, Some(1), f_count));
+    r.register(def("sum", 1, Some(1), f_sum));
+    r.register(def("avg", 1, Some(1), f_avg));
+    r.register(def("min", 1, Some(1), f_min));
+    r.register(def("max", 1, Some(1), f_max));
+    r.register(def("group_concat", 1, Some(2), f_group_concat));
+    r.register(def("string_agg", 1, Some(2), f_group_concat));
+    r.register(def("stddev", 1, Some(1), f_stddev_pop));
+    r.register(def("stddev_pop", 1, Some(1), f_stddev_pop));
+    r.register(def("stddev_samp", 1, Some(1), f_stddev_samp));
+    r.register(def("variance", 1, Some(1), f_var_pop));
+    r.register(def("var_pop", 1, Some(1), f_var_pop));
+    r.register(def("var_samp", 1, Some(1), f_var_samp));
+    r.register(def("bit_and", 1, Some(1), f_bit_and));
+    r.register(def("bit_or", 1, Some(1), f_bit_or));
+    r.register(def("bit_xor", 1, Some(1), f_bit_xor));
+    r.register(def("bool_and", 1, Some(1), f_bool_and));
+    r.register(def("bool_or", 1, Some(1), f_bool_or));
+    r.register(def("median", 1, Some(1), f_median));
+    r.register(def("array_agg", 1, Some(1), f_array_agg));
+    r.register(def("json_arrayagg", 1, Some(1), f_json_arrayagg));
+    r.register(def("json_objectagg", 2, Some(2), f_json_objectagg));
+    r.register(def("jsonb_object_agg", 2, Some(2), f_json_objectagg));
+}
+
+/// Applies DISTINCT by deduplicating rows on the rendered argument tuple.
+fn dedup_rows(rows: &[Vec<Evaluated>], distinct: bool) -> Vec<&Vec<Evaluated>> {
+    if !distinct {
+        return rows.iter().collect();
+    }
+    let mut seen = HashSet::new();
+    let mut out = Vec::new();
+    for row in rows {
+        let key: String = row.iter().map(|e| e.value.group_key()).collect::<Vec<_>>().join("\u{1}");
+        if seen.insert(key) {
+            out.push(row);
+        }
+    }
+    out
+}
+
+fn first_args(rows: &[Vec<Evaluated>], distinct: bool) -> Vec<Evaluated> {
+    dedup_rows(rows, distinct)
+        .into_iter()
+        .filter_map(|r| r.first().cloned())
+        .collect()
+}
+
+fn f_count(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    let mut n = 0i64;
+    for row in dedup_rows(rows, distinct) {
+        match row.first() {
+            // COUNT(*): the star counts every row.
+            Some(e) if matches!(e.value, Value::Star) => n += 1,
+            Some(e) if !e.value.is_null() => n += 1,
+            Some(_) => ctx.branch("null-skipped"),
+            None => n += 1,
+        }
+    }
+    Ok(Value::Integer(n))
+}
+
+/// Numeric accumulation shared by SUM/AVG: exact decimal arithmetic when all
+/// inputs are integer/decimal, float otherwise — the dual-path design whose
+/// decimal leg is where the Listing 6 `AVG` overflow lives.
+fn numeric_fold(
+    ctx: &mut FnCtx<'_>,
+    values: &[Evaluated],
+) -> Result<Option<(Option<Decimal>, f64, usize)>, EngineError> {
+    let mut dec_acc: Option<Decimal> = Some(Decimal::zero());
+    let mut float_acc = 0f64;
+    let mut count = 0usize;
+    for e in values {
+        match &e.value {
+            Value::Null => {
+                ctx.branch("null-skipped");
+                continue;
+            }
+            Value::Star => {
+                return type_err(format!("'*' is not a valid argument to {}", ctx.name));
+            }
+            v => {
+                let d = match v {
+                    Value::Integer(i) => Some(Decimal::from_i64(*i)),
+                    Value::Decimal(d) => Some(d.clone()),
+                    Value::Boolean(b) => Some(Decimal::from_i64(*b as i64)),
+                    Value::Text(s) => {
+                        // Lenient numeric coercion of strings.
+                        ctx.branch("string-coercion");
+                        s.trim().parse::<Decimal>().ok()
+                    }
+                    _ => None,
+                };
+                let f = v
+                    .as_f64()
+                    .or_else(|| match v {
+                        Value::Text(s) => {
+                            Some(soft_types::value::parse_numeric_prefix(s))
+                        }
+                        _ => None,
+                    })
+                    .unwrap_or(0.0);
+                float_acc += f;
+                count += 1;
+                dec_acc = match (dec_acc, d) {
+                    (Some(acc), Some(d)) => acc.checked_add(&d).ok(),
+                    _ => None,
+                };
+            }
+        }
+    }
+    if count == 0 {
+        ctx.branch("empty-input");
+        return Ok(None);
+    }
+    Ok(Some((dec_acc, float_acc, count)))
+}
+
+fn f_sum(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    let values = first_args(rows, distinct);
+    match numeric_fold(ctx, &values)? {
+        None => Ok(Value::Null),
+        Some((Some(dec), _, _)) => Ok(Value::Decimal(dec)),
+        Some((None, f, _)) => Ok(Value::Float(f)),
+    }
+}
+
+fn f_avg(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    let values = first_args(rows, distinct);
+    match numeric_fold(ctx, &values)? {
+        None => Ok(Value::Null),
+        Some((Some(dec), _, n)) => {
+            let divisor = Decimal::from_i64(n as i64);
+            match dec.checked_div(&divisor) {
+                Ok(q) => Ok(Value::Decimal(q)),
+                Err(_) => {
+                    // Guarded overflow path: fall back to float.
+                    ctx.branch("decimal-overflow");
+                    Ok(Value::Float(dec.to_f64() / n as f64))
+                }
+            }
+        }
+        Some((None, f, n)) => Ok(Value::Float(f / n as f64)),
+    }
+}
+
+fn extremum(
+    ctx: &mut FnCtx<'_>,
+    rows: &[Vec<Evaluated>],
+    distinct: bool,
+    greatest: bool,
+) -> Result<Value, EngineError> {
+    let mut best: Option<Value> = None;
+    for e in first_args(rows, distinct) {
+        if e.value.is_null() {
+            continue;
+        }
+        match &best {
+            None => best = Some(e.value.clone()),
+            Some(b) => {
+                let ord = e.value.sql_cmp(b).map_err(|err| {
+                    EngineError::Sql(crate::error::SqlError::TypeError(err.to_string()))
+                })?;
+                let replace = matches!(
+                    (ord, greatest),
+                    (Some(std::cmp::Ordering::Greater), true)
+                        | (Some(std::cmp::Ordering::Less), false)
+                );
+                if replace {
+                    best = Some(e.value.clone());
+                }
+            }
+        }
+    }
+    if best.is_none() {
+        ctx.branch("empty-input");
+    }
+    Ok(best.unwrap_or(Value::Null))
+}
+
+fn f_min(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    extremum(ctx, rows, distinct, false)
+}
+
+fn f_max(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    extremum(ctx, rows, distinct, true)
+}
+
+fn f_group_concat(
+    ctx: &mut FnCtx<'_>,
+    rows: &[Vec<Evaluated>],
+    distinct: bool,
+) -> Result<Value, EngineError> {
+    let mut parts = Vec::new();
+    let mut sep = ",".to_string();
+    for row in dedup_rows(rows, distinct) {
+        if let Some(e) = row.first() {
+            if e.value.is_null() {
+                ctx.branch("null-skipped");
+                continue;
+            }
+            parts.push(e.value.render());
+        }
+        if let Some(e) = row.get(1) {
+            if let Value::Text(s) = &e.value {
+                sep = s.clone();
+            }
+        }
+    }
+    if parts.is_empty() {
+        ctx.branch("empty-input");
+        return Ok(Value::Null);
+    }
+    let v = Value::Text(parts.join(&sep));
+    ctx.charge(&v)?;
+    Ok(v)
+}
+
+fn floats(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Vec<f64> {
+    let mut out = Vec::new();
+    for e in first_args(rows, distinct) {
+        if let Some(f) = e.value.as_f64() {
+            out.push(f);
+        } else if !e.value.is_null() {
+            ctx.branch("non-numeric-skipped");
+        }
+    }
+    out
+}
+
+fn variance(xs: &[f64], sample: bool) -> Option<f64> {
+    let n = xs.len();
+    if n == 0 || (sample && n < 2) {
+        return None;
+    }
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let ss: f64 = xs.iter().map(|x| (x - mean).powi(2)).sum();
+    Some(ss / (n - if sample { 1 } else { 0 }) as f64)
+}
+
+fn f_var_pop(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    Ok(variance(&floats(ctx, rows, distinct), false).map(Value::Float).unwrap_or(Value::Null))
+}
+
+fn f_var_samp(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    Ok(variance(&floats(ctx, rows, distinct), true).map(Value::Float).unwrap_or(Value::Null))
+}
+
+fn f_stddev_pop(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    Ok(variance(&floats(ctx, rows, distinct), false)
+        .map(|v| Value::Float(v.sqrt()))
+        .unwrap_or(Value::Null))
+}
+
+fn f_stddev_samp(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    Ok(variance(&floats(ctx, rows, distinct), true)
+        .map(|v| Value::Float(v.sqrt()))
+        .unwrap_or(Value::Null))
+}
+
+fn bit_fold(
+    ctx: &mut FnCtx<'_>,
+    rows: &[Vec<Evaluated>],
+    distinct: bool,
+    init: i64,
+    op: fn(i64, i64) -> i64,
+) -> Result<Value, EngineError> {
+    let mut acc = init;
+    let mut any = false;
+    for e in first_args(rows, distinct) {
+        match &e.value {
+            Value::Null => ctx.branch("null-skipped"),
+            Value::Integer(i) => {
+                acc = op(acc, *i);
+                any = true;
+            }
+            v => {
+                if let Some(f) = v.as_f64() {
+                    acc = op(acc, f as i64);
+                    any = true;
+                } else {
+                    return type_err(format!("{}: non-numeric input", ctx.name));
+                }
+            }
+        }
+    }
+    if !any {
+        ctx.branch("empty-input");
+    }
+    Ok(Value::Integer(acc))
+}
+
+fn f_bit_and(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    bit_fold(ctx, rows, distinct, -1, |a, b| a & b)
+}
+
+fn f_bit_or(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    bit_fold(ctx, rows, distinct, 0, |a, b| a | b)
+}
+
+fn f_bit_xor(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    bit_fold(ctx, rows, distinct, 0, |a, b| a ^ b)
+}
+
+fn bool_fold(
+    ctx: &mut FnCtx<'_>,
+    rows: &[Vec<Evaluated>],
+    distinct: bool,
+    want_all: bool,
+) -> Result<Value, EngineError> {
+    let mut any = false;
+    let mut acc = want_all;
+    for e in first_args(rows, distinct) {
+        match e.value.truthiness() {
+            None => ctx.branch("null-skipped"),
+            Some(b) => {
+                any = true;
+                acc = if want_all { acc && b } else { acc || b };
+            }
+        }
+    }
+    if !any {
+        ctx.branch("empty-input");
+        return Ok(Value::Null);
+    }
+    Ok(Value::Boolean(acc))
+}
+
+fn f_bool_and(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    bool_fold(ctx, rows, distinct, true)
+}
+
+fn f_bool_or(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    bool_fold(ctx, rows, distinct, false)
+}
+
+fn f_median(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    let mut xs = floats(ctx, rows, distinct);
+    if xs.is_empty() {
+        ctx.branch("empty-input");
+        return Ok(Value::Null);
+    }
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let n = xs.len();
+    let m = if n % 2 == 1 { xs[n / 2] } else { (xs[n / 2 - 1] + xs[n / 2]) / 2.0 };
+    Ok(Value::Float(m))
+}
+
+fn f_array_agg(ctx: &mut FnCtx<'_>, rows: &[Vec<Evaluated>], distinct: bool) -> Result<Value, EngineError> {
+    let items: Vec<Value> =
+        first_args(rows, distinct).into_iter().map(|e| e.value).collect();
+    let v = Value::Array(items);
+    ctx.charge(&v)?;
+    Ok(v)
+}
+
+fn f_json_arrayagg(
+    ctx: &mut FnCtx<'_>,
+    rows: &[Vec<Evaluated>],
+    distinct: bool,
+) -> Result<Value, EngineError> {
+    let mut items = Vec::new();
+    for e in first_args(rows, distinct) {
+        items.push(match &e.value {
+            Value::Null => JsonValue::Null,
+            Value::Boolean(b) => JsonValue::Bool(*b),
+            Value::Integer(i) => JsonValue::Number(i.to_string()),
+            Value::Decimal(d) => JsonValue::Number(d.to_string()),
+            Value::Float(f) => JsonValue::Number(format!("{f}")),
+            Value::Json(j) => j.clone(),
+            v => JsonValue::String(v.render()),
+        });
+    }
+    let v = Value::Json(JsonValue::Array(items));
+    ctx.charge(&v)?;
+    Ok(v)
+}
+
+/// `JSON[B]_OBJECT_AGG(key, value)` — the CVE-2023-5868 function of Case 3:
+/// the guarded version renders unknown-typed keys through the value layer
+/// instead of assuming NUL-terminated strings.
+fn f_json_objectagg(
+    ctx: &mut FnCtx<'_>,
+    rows: &[Vec<Evaluated>],
+    distinct: bool,
+) -> Result<Value, EngineError> {
+    let mut fields: Vec<(String, JsonValue)> = Vec::new();
+    for row in dedup_rows(rows, distinct) {
+        let Some(k) = row.first() else { continue };
+        if k.value.is_null() {
+            ctx.branch("null-key");
+            return runtime_err(format!("{}: NULL key", ctx.name));
+        }
+        let key = k.value.render();
+        let val = match row.get(1).map(|e| &e.value) {
+            None | Some(Value::Null) => JsonValue::Null,
+            Some(Value::Boolean(b)) => JsonValue::Bool(*b),
+            Some(Value::Integer(i)) => JsonValue::Number(i.to_string()),
+            Some(Value::Decimal(d)) => JsonValue::Number(d.to_string()),
+            Some(Value::Float(f)) => JsonValue::Number(format!("{f}")),
+            Some(Value::Json(j)) => j.clone(),
+            Some(v) => JsonValue::String(v.render()),
+        };
+        match fields.iter_mut().find(|(fk, _)| *fk == key) {
+            Some((_, fv)) => *fv = val,
+            None => fields.push((key, val)),
+        }
+    }
+    if fields.is_empty() {
+        ctx.branch("empty-input");
+        return Ok(Value::Null);
+    }
+    let v = Value::Json(JsonValue::Object(fields));
+    ctx.charge(&v)?;
+    Ok(v)
+}

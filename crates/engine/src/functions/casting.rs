@@ -1,0 +1,127 @@
+//! Conversion-helper built-ins — including ClickHouse's `toDecimalString`,
+//! the function of the paper's Listing 1 (null pointer dereference when a
+//! crafted precision argument is passed).
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::functions::string::some_or_null;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::value::{DataType, Value};
+
+fn def(name: &'static str, min: usize, max: Option<usize>, f: ScalarImpl) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: C::Casting,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Scalar(f),
+    }
+}
+
+/// Registers the conversion helpers.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("to_char", 1, Some(2), f_to_char));
+    r.register(def("to_number", 1, Some(1), f_to_number));
+    r.register(def("to_date", 1, Some(1), f_to_date));
+    r.register(def("todecimalstring", 2, Some(2), f_to_decimal_string));
+    r.register(def("tostring", 1, Some(1), f_tostring));
+    r.register(def("toint64", 1, Some(1), f_toint64));
+    r.register(def("tofloat64", 1, Some(1), f_tofloat64));
+    r.register(def("try_cast", 2, Some(2), f_try_cast));
+    r.register(def("tojsonstring", 1, Some(1), f_tojsonstring));
+}
+
+fn f_to_char(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    let cast = ctx.cast(&args[0], DataType::Text, true)?;
+    Ok(cast.value)
+}
+
+fn f_to_number(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    let cast = ctx.cast(&args[0], DataType::Decimal, true)?;
+    Ok(cast.value)
+}
+
+fn f_to_date(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    let cast = ctx.cast(&args[0], DataType::Date, true)?;
+    Ok(cast.value)
+}
+
+/// `toDecimalString(value, precision)`: render a number with a fixed number
+/// of fractional digits. The guarded implementation validates the precision
+/// argument is a sane non-negative integer — the missing check behind the
+/// Listing 1 NPD.
+fn f_to_decimal_string(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let d = some_or_null!(want_decimal(ctx, args, 0)?);
+    let precision = some_or_null!(want_int(ctx, args, 1)?);
+    if precision < 0 {
+        ctx.branch("negative-precision");
+        return runtime_err("toDecimalString(): negative precision");
+    }
+    if precision as usize > soft_types::decimal::MAX_SCALE * 2 {
+        ctx.branch("precision-too-large");
+        return runtime_err("toDecimalString(): precision too large");
+    }
+    let scale = (precision as usize).min(soft_types::decimal::MAX_SCALE);
+    let out = d
+        .round_to_scale(scale)
+        .map_err(|e| EngineError::Sql(crate::error::SqlError::Runtime(e.to_string())))?;
+    Ok(Value::Text(out.to_string()))
+}
+
+fn f_tostring(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(ctx.cast(&args[0], DataType::Text, true)?.value)
+}
+
+fn f_toint64(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(ctx.cast(&args[0], DataType::Integer, true)?.value)
+}
+
+fn f_tofloat64(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    Ok(ctx.cast(&args[0], DataType::Float, true)?.value)
+}
+
+fn f_try_cast(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let ty_name = some_or_null!(want_text(ctx, args, 1)?);
+    let Some(ty) = DataType::parse_sql_name(&ty_name) else {
+        ctx.branch("unknown-type");
+        return runtime_err(format!("TRY_CAST(): unknown type {ty_name}"));
+    };
+    match ctx.cast(&args[0], ty, true) {
+        Ok(v) => Ok(v.value),
+        Err(EngineError::Sql(_)) => {
+            ctx.branch("cast-failed");
+            Ok(Value::Null)
+        }
+        Err(crash) => Err(crash),
+    }
+}
+
+fn f_tojsonstring(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        return Ok(Value::Null);
+    }
+    let j = ctx.cast(&args[0], DataType::Json, true)?;
+    match j.value {
+        Value::Json(j) => Ok(Value::Text(j.to_json_string())),
+        other => Ok(Value::Text(other.render())),
+    }
+}

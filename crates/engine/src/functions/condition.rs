@@ -1,0 +1,137 @@
+//! Conditional built-ins, including the `INTERVAL` comparison function whose
+//! missing row-type validation is the MDEV-14596 bug of Listing 5.
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::value::Value;
+use std::cmp::Ordering;
+
+fn def(name: &'static str, min: usize, max: Option<usize>, f: ScalarImpl) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: C::Condition,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Scalar(f),
+    }
+}
+
+/// Registers the conditional functions.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("if", 3, Some(3), f_if));
+    r.register(def("ifnull", 2, Some(2), f_ifnull));
+    r.register(def("nullif", 2, Some(2), f_nullif));
+    r.register(def("coalesce", 1, None, f_coalesce));
+    r.register(def("isnull", 1, Some(1), f_isnull));
+    r.register(def("interval", 2, None, f_interval));
+    r.register(def("nvl", 2, Some(2), f_ifnull));
+    r.register(def("nvl2", 3, Some(3), f_nvl2));
+    r.register(def("decode", 3, None, f_decode));
+}
+
+fn f_if(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match args[0].value.truthiness() {
+        Some(true) => Ok(args[1].value.clone()),
+        Some(false) => Ok(args[2].value.clone()),
+        None => {
+            // NULL condition selects the else branch (MySQL).
+            ctx.branch("null-condition");
+            Ok(args[2].value.clone())
+        }
+    }
+}
+
+fn f_ifnull(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        ctx.branch("null-first");
+        Ok(args[1].value.clone())
+    } else {
+        Ok(args[0].value.clone())
+    }
+}
+
+fn f_nvl2(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args[0].value.is_null() {
+        ctx.branch("null-first");
+        Ok(args[2].value.clone())
+    } else {
+        Ok(args[1].value.clone())
+    }
+}
+
+fn f_nullif(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let eq = args[0]
+        .value
+        .sql_cmp(&args[1].value)
+        .map_err(|e| EngineError::Sql(crate::error::SqlError::TypeError(e.to_string())))?;
+    if eq == Some(Ordering::Equal) {
+        ctx.branch("equal");
+        Ok(Value::Null)
+    } else {
+        Ok(args[0].value.clone())
+    }
+}
+
+fn f_coalesce(_ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    for a in args {
+        if !a.value.is_null() {
+            return Ok(a.value.clone());
+        }
+    }
+    Ok(Value::Null)
+}
+
+fn f_isnull(_ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Boolean(args[0].value.is_null()))
+}
+
+/// `INTERVAL(N, N1, N2, ...)`: index of the last argument not greater than
+/// N (MySQL semantics, binary-search equivalent). The arguments must be
+/// comparable scalars; the *guarded* implementation rejects ROW values —
+/// exactly the validation MariaDB was missing in MDEV-14596.
+fn f_interval(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args.iter().any(|a| matches!(a.value, Value::Row(_))) {
+        ctx.branch("row-argument");
+        return type_err("INTERVAL(): ROW values are not comparable");
+    }
+    if args[0].value.is_null() {
+        ctx.branch("null-pivot");
+        return Ok(Value::Integer(-1));
+    }
+    let mut idx: i64 = 0;
+    for (i, a) in args.iter().enumerate().skip(1) {
+        let ord = args[0]
+            .value
+            .sql_cmp(&a.value)
+            .map_err(|e| EngineError::Sql(crate::error::SqlError::TypeError(e.to_string())))?;
+        match ord {
+            Some(Ordering::Greater) | Some(Ordering::Equal) => idx = i as i64,
+            _ => break,
+        }
+    }
+    Ok(Value::Integer(idx))
+}
+
+fn f_decode(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    // DECODE(expr, search1, result1, ..., [default]).
+    let expr = &args[0].value;
+    let mut i = 1;
+    while i + 1 < args.len() {
+        let eq = expr
+            .sql_cmp(&args[i].value)
+            .map_err(|e| EngineError::Sql(crate::error::SqlError::TypeError(e.to_string())))?;
+        let null_match = expr.is_null() && args[i].value.is_null();
+        if eq == Some(Ordering::Equal) || null_match {
+            return Ok(args[i + 1].value.clone());
+        }
+        i += 2;
+    }
+    if i < args.len() {
+        ctx.branch("default");
+        Ok(args[i].value.clone())
+    } else {
+        Ok(Value::Null)
+    }
+}

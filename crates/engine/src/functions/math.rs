@@ -1,0 +1,434 @@
+//! Math built-ins.
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::functions::string::some_or_null;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::decimal::Decimal;
+use soft_types::value::Value;
+
+fn def(name: &'static str, min: usize, max: Option<usize>, f: ScalarImpl) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: C::Math,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Scalar(f),
+    }
+}
+
+/// Registers the math functions.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("abs", 1, Some(1), f_abs));
+    r.register(def("ceil", 1, Some(1), f_ceil));
+    r.register(def("floor", 1, Some(1), f_floor));
+    r.register(def("round", 1, Some(2), f_round));
+    r.register(def("truncate", 2, Some(2), f_truncate));
+    r.register(def("mod", 2, Some(2), f_mod));
+    r.register(def("pow", 2, Some(2), f_pow));
+    r.register(def("sqrt", 1, Some(1), f_sqrt));
+    r.register(def("cbrt", 1, Some(1), f_cbrt));
+    r.register(def("exp", 1, Some(1), f_exp));
+    r.register(def("ln", 1, Some(1), f_ln));
+    r.register(def("log", 1, Some(2), f_log));
+    r.register(def("log2", 1, Some(1), f_log2));
+    r.register(def("log10", 1, Some(1), f_log10));
+    r.register(def("sin", 1, Some(1), f_sin));
+    r.register(def("cos", 1, Some(1), f_cos));
+    r.register(def("tan", 1, Some(1), f_tan));
+    r.register(def("asin", 1, Some(1), f_asin));
+    r.register(def("acos", 1, Some(1), f_acos));
+    r.register(def("atan", 1, Some(1), f_atan));
+    r.register(def("atan2", 2, Some(2), f_atan2));
+    r.register(def("cot", 1, Some(1), f_cot));
+    r.register(def("sign", 1, Some(1), f_sign));
+    r.register(def("pi", 0, Some(0), f_pi));
+    r.register(def("degrees", 1, Some(1), f_degrees));
+    r.register(def("radians", 1, Some(1), f_radians));
+    r.register(def("greatest", 1, None, f_greatest));
+    r.register(def("least", 1, None, f_least));
+    r.register(def("div", 2, Some(2), f_div));
+    r.register(def("gcd", 2, Some(2), f_gcd));
+    r.register(def("lcm", 2, Some(2), f_lcm));
+    r.register(def("factorial", 1, Some(1), f_factorial));
+    r.register(def("rand", 0, Some(1), f_rand));
+    r.register(def("bit_count", 1, Some(1), f_bit_count));
+}
+
+fn f_abs(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match &args[0].value {
+        Value::Null => Ok(Value::Null),
+        Value::Integer(i) => match i.checked_abs() {
+            Some(v) => Ok(Value::Integer(v)),
+            None => {
+                // |i64::MIN| does not fit; the guarded behaviour errors.
+                ctx.branch("min-int");
+                runtime_err("ABS(): integer overflow")
+            }
+        },
+        Value::Decimal(d) => Ok(Value::Decimal(d.abs())),
+        _ => {
+            let f = some_or_null!(want_f64(ctx, args, 0)?);
+            Ok(Value::Float(f.abs()))
+        }
+    }
+}
+
+fn f_ceil(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match &args[0].value {
+        Value::Integer(i) => Ok(Value::Integer(*i)),
+        Value::Decimal(d) => {
+            let t = d.truncate_to_scale(0);
+            let needs_bump = !d.is_negative() && &t.truncate_to_scale(d.scale()) != d;
+            let out = if needs_bump {
+                t.checked_add(&Decimal::one())
+                    .map_err(|e| EngineError::Sql(crate::error::SqlError::Runtime(e.to_string())))?
+            } else {
+                t
+            };
+            Ok(Value::Decimal(out))
+        }
+        _ => {
+            let f = some_or_null!(want_f64(ctx, args, 0)?);
+            Ok(Value::Float(f.ceil()))
+        }
+    }
+}
+
+fn f_floor(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match &args[0].value {
+        Value::Integer(i) => Ok(Value::Integer(*i)),
+        Value::Decimal(d) => {
+            let t = d.truncate_to_scale(0);
+            let needs_drop = d.is_negative() && &t.truncate_to_scale(d.scale()) != d;
+            let out = if needs_drop {
+                t.checked_sub(&Decimal::one())
+                    .map_err(|e| EngineError::Sql(crate::error::SqlError::Runtime(e.to_string())))?
+            } else {
+                t
+            };
+            Ok(Value::Decimal(out))
+        }
+        _ => {
+            let f = some_or_null!(want_f64(ctx, args, 0)?);
+            Ok(Value::Float(f.floor()))
+        }
+    }
+}
+
+fn f_round(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let places = if args.len() > 1 {
+        some_or_null!(want_int(ctx, args, 1)?)
+    } else {
+        0
+    };
+    match &args[0].value {
+        Value::Null => Ok(Value::Null),
+        Value::Integer(i) => {
+            if places >= 0 {
+                Ok(Value::Integer(*i))
+            } else {
+                ctx.branch("negative-places-int");
+                let factor = 10i64.checked_pow(places.unsigned_abs().min(18) as u32);
+                match factor {
+                    None => Ok(Value::Integer(0)),
+                    Some(f) => {
+                        let half = f / 2;
+                        let adj = if *i >= 0 { half } else { -half };
+                        Ok(Value::Integer(i.saturating_add(adj) / f * f))
+                    }
+                }
+            }
+        }
+        Value::Decimal(d) => {
+            if places < 0 {
+                ctx.branch("negative-places-dec");
+                let shifted = d.to_f64() / 10f64.powi((-places).min(300) as i32);
+                let back = shifted.round() * 10f64.powi((-places).min(300) as i32);
+                return Ok(Value::Float(back));
+            }
+            let scale = (places as usize).min(soft_types::decimal::MAX_SCALE);
+            let out = d
+                .round_to_scale(scale)
+                .map_err(|e| EngineError::Sql(crate::error::SqlError::Runtime(e.to_string())))?;
+            Ok(Value::Decimal(out))
+        }
+        _ => {
+            let f = some_or_null!(want_f64(ctx, args, 0)?);
+            let factor = 10f64.powi(places.clamp(-300, 300) as i32);
+            Ok(Value::Float((f * factor).round() / factor))
+        }
+    }
+}
+
+fn f_truncate(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let d = some_or_null!(want_decimal(ctx, args, 0)?);
+    let places = some_or_null!(want_int(ctx, args, 1)?);
+    if places < 0 {
+        ctx.branch("negative-places");
+        let f = d.to_f64();
+        let factor = 10f64.powi((-places).min(300) as i32);
+        return Ok(Value::Float((f / factor).trunc() * factor));
+    }
+    Ok(Value::Decimal(d.truncate_to_scale((places as usize).min(soft_types::decimal::MAX_SCALE))))
+}
+
+fn f_mod(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match (&args[0].value, &args[1].value) {
+        (Value::Integer(a), Value::Integer(b)) => {
+            if *b == 0 {
+                // MySQL: MOD by zero is NULL.
+                ctx.branch("zero-divisor");
+                return Ok(Value::Null);
+            }
+            Ok(Value::Integer(a.wrapping_rem(*b)))
+        }
+        _ => {
+            let a = some_or_null!(want_decimal(ctx, args, 0)?);
+            let b = some_or_null!(want_decimal(ctx, args, 1)?);
+            if b.is_zero() {
+                ctx.branch("zero-divisor");
+                return Ok(Value::Null);
+            }
+            a.checked_rem(&b)
+                .map(Value::Decimal)
+                .map_err(|e| EngineError::Sql(crate::error::SqlError::Runtime(e.to_string())))
+        }
+    }
+}
+
+fn f_pow(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_f64(ctx, args, 0)?);
+    let b = some_or_null!(want_f64(ctx, args, 1)?);
+    let r = a.powf(b);
+    if !r.is_finite() {
+        ctx.branch("overflow");
+        return runtime_err("POW(): result out of range");
+    }
+    Ok(Value::Float(r))
+}
+
+macro_rules! unary_float {
+    ($name:ident, $op:expr) => {
+        fn $name(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+            let f = some_or_null!(want_f64(ctx, args, 0)?);
+            #[allow(clippy::redundant_closure_call)]
+            let r: f64 = ($op)(f);
+            if r.is_nan() {
+                ctx.branch("domain-error");
+                return Ok(Value::Null);
+            }
+            Ok(Value::Float(r))
+        }
+    };
+}
+
+unary_float!(f_sqrt, |f: f64| f.sqrt());
+unary_float!(f_cbrt, |f: f64| f.cbrt());
+unary_float!(f_exp, |f: f64| f.exp());
+unary_float!(f_sin, |f: f64| f.sin());
+unary_float!(f_cos, |f: f64| f.cos());
+unary_float!(f_tan, |f: f64| f.tan());
+unary_float!(f_asin, |f: f64| f.asin());
+unary_float!(f_acos, |f: f64| f.acos());
+unary_float!(f_atan, |f: f64| f.atan());
+unary_float!(f_degrees, |f: f64| f.to_degrees());
+unary_float!(f_radians, |f: f64| f.to_radians());
+
+fn f_ln(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let f = some_or_null!(want_f64(ctx, args, 0)?);
+    if f <= 0.0 {
+        // MySQL: LN of non-positive is NULL (with a warning).
+        ctx.branch("non-positive");
+        return Ok(Value::Null);
+    }
+    Ok(Value::Float(f.ln()))
+}
+
+fn f_log(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if args.len() == 1 {
+        return f_ln(ctx, args);
+    }
+    let base = some_or_null!(want_f64(ctx, args, 0)?);
+    let x = some_or_null!(want_f64(ctx, args, 1)?);
+    if base <= 0.0 || base == 1.0 || x <= 0.0 {
+        ctx.branch("bad-domain");
+        return Ok(Value::Null);
+    }
+    Ok(Value::Float(x.log(base)))
+}
+
+fn f_log2(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let f = some_or_null!(want_f64(ctx, args, 0)?);
+    if f <= 0.0 {
+        ctx.branch("non-positive");
+        return Ok(Value::Null);
+    }
+    Ok(Value::Float(f.log2()))
+}
+
+fn f_log10(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let f = some_or_null!(want_f64(ctx, args, 0)?);
+    if f <= 0.0 {
+        ctx.branch("non-positive");
+        return Ok(Value::Null);
+    }
+    Ok(Value::Float(f.log10()))
+}
+
+fn f_atan2(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_f64(ctx, args, 0)?);
+    let b = some_or_null!(want_f64(ctx, args, 1)?);
+    Ok(Value::Float(a.atan2(b)))
+}
+
+fn f_cot(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let f = some_or_null!(want_f64(ctx, args, 0)?);
+    let t = f.tan();
+    if t == 0.0 {
+        ctx.branch("pole");
+        return runtime_err("COT(): value out of range");
+    }
+    Ok(Value::Float(1.0 / t))
+}
+
+fn f_sign(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let f = some_or_null!(want_f64(ctx, args, 0)?);
+    Ok(Value::Integer(if f > 0.0 {
+        1
+    } else if f < 0.0 {
+        -1
+    } else {
+        0
+    }))
+}
+
+fn f_pi(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Float(std::f64::consts::PI))
+}
+
+fn extremum(
+    ctx: &mut FnCtx<'_>,
+    args: &[Evaluated],
+    want_greatest: bool,
+) -> Result<Value, EngineError> {
+    let mut best: Option<Value> = None;
+    for a in args {
+        if a.value.is_null() {
+            // MySQL: any NULL nulls the result.
+            ctx.branch("null-argument");
+            return Ok(Value::Null);
+        }
+        match &best {
+            None => best = Some(a.value.clone()),
+            Some(b) => {
+                let ord = a.value.sql_cmp(b).map_err(|e| {
+                    EngineError::Sql(crate::error::SqlError::TypeError(e.to_string()))
+                })?;
+                if let Some(ord) = ord {
+                    let replace = if want_greatest {
+                        ord == std::cmp::Ordering::Greater
+                    } else {
+                        ord == std::cmp::Ordering::Less
+                    };
+                    if replace {
+                        best = Some(a.value.clone());
+                    }
+                }
+            }
+        }
+    }
+    Ok(best.unwrap_or(Value::Null))
+}
+
+fn f_greatest(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    extremum(ctx, args, true)
+}
+
+fn f_least(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    extremum(ctx, args, false)
+}
+
+fn f_div(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_int(ctx, args, 0)?);
+    let b = some_or_null!(want_int(ctx, args, 1)?);
+    if b == 0 {
+        ctx.branch("zero-divisor");
+        return Ok(Value::Null);
+    }
+    if a == i64::MIN && b == -1 {
+        ctx.branch("min-overflow");
+        return runtime_err("DIV(): integer overflow");
+    }
+    Ok(Value::Integer(a / b))
+}
+
+fn f_gcd(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_int(ctx, args, 0)?);
+    let b = some_or_null!(want_int(ctx, args, 1)?);
+    let (mut x, mut y) = (a.unsigned_abs(), b.unsigned_abs());
+    while y != 0 {
+        let t = x % y;
+        x = y;
+        y = t;
+    }
+    i64::try_from(x).map(Value::Integer).or_else(|_| {
+        ctx.branch("overflow");
+        runtime_err("GCD(): result out of range")
+    })
+}
+
+fn f_lcm(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_int(ctx, args, 0)?);
+    let b = some_or_null!(want_int(ctx, args, 1)?);
+    if a == 0 || b == 0 {
+        ctx.branch("zero");
+        return Ok(Value::Integer(0));
+    }
+    let (mut x, mut y) = (a.unsigned_abs(), b.unsigned_abs());
+    let (ox, oy) = (x, y);
+    while y != 0 {
+        let t = x % y;
+        x = y;
+        y = t;
+    }
+    match (ox / x).checked_mul(oy).and_then(|v| i64::try_from(v).ok()) {
+        Some(v) => Ok(Value::Integer(v)),
+        None => {
+            ctx.branch("overflow");
+            runtime_err("LCM(): result out of range")
+        }
+    }
+}
+
+fn f_factorial(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let n = some_or_null!(want_int(ctx, args, 0)?);
+    if n < 0 {
+        ctx.branch("negative");
+        return runtime_err("FACTORIAL(): negative argument");
+    }
+    if n > 20 {
+        ctx.branch("overflow");
+        return runtime_err("FACTORIAL(): result out of range");
+    }
+    let mut acc: i64 = 1;
+    for i in 2..=n {
+        acc *= i;
+    }
+    Ok(Value::Integer(acc))
+}
+
+fn f_rand(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if !args.is_empty() {
+        if let Some(seed) = want_int(ctx, args, 0)? {
+            ctx.session.rand_state = seed as u64;
+        }
+    }
+    Ok(Value::Float(ctx.session.next_rand()))
+}
+
+fn f_bit_count(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let n = some_or_null!(want_int(ctx, args, 0)?);
+    Ok(Value::Integer(n.count_ones() as i64))
+}

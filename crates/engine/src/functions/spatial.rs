@@ -1,0 +1,228 @@
+//! Spatial built-ins — the `ST_*` family plus `BOUNDARY`, the sink of the
+//! Listing 11 nested-function chain.
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::functions::string::some_or_null;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::geometry::{Geometry, Point};
+use soft_types::value::Value;
+
+fn def(name: &'static str, min: usize, max: Option<usize>, f: ScalarImpl) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: C::Spatial,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Scalar(f),
+    }
+}
+
+/// Registers the spatial functions.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("st_geomfromtext", 1, Some(1), f_geomfromtext));
+    r.register(def("st_astext", 1, Some(1), f_astext));
+    r.register(def("st_aswkb", 1, Some(1), f_aswkb));
+    r.register(def("st_geomfromwkb", 1, Some(1), f_geomfromwkb));
+    r.register(def("point", 2, Some(2), f_point));
+    r.register(def("linestring", 2, None, f_linestring));
+    r.register(def("st_x", 1, Some(1), f_x));
+    r.register(def("st_y", 1, Some(1), f_y));
+    r.register(def("st_dimension", 1, Some(1), f_dimension));
+    r.register(def("st_numpoints", 1, Some(1), f_numpoints));
+    r.register(def("st_length", 1, Some(1), f_length));
+    r.register(def("st_area", 1, Some(1), f_area));
+    r.register(def("st_envelope", 1, Some(1), f_envelope));
+    r.register(def("boundary", 1, Some(1), f_boundary));
+    r.register(def("st_isempty", 1, Some(1), f_isempty));
+    r.register(def("st_equals", 2, Some(2), f_equals));
+    r.register(def("st_distance", 2, Some(2), f_distance));
+    r.register(def("st_contains", 2, Some(2), f_contains));
+    r.register(def("st_geometrytype", 1, Some(1), f_geometrytype));
+}
+
+fn f_geomfromtext(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let s = some_or_null!(want_text(ctx, args, 0)?);
+    match Geometry::parse_wkt(&s) {
+        Ok(g) => Ok(Value::Geometry(g)),
+        Err(e) => {
+            ctx.branch("bad-wkt");
+            runtime_err(format!("ST_GEOMFROMTEXT(): {e}"))
+        }
+    }
+}
+
+fn f_astext(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Text(g.to_string()))
+}
+
+fn f_aswkb(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Binary(g.to_binary()))
+}
+
+fn f_geomfromwkb(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let b = some_or_null!(want_binary(ctx, args, 0)?);
+    match Geometry::from_binary(&b) {
+        Ok(g) => Ok(Value::Geometry(g)),
+        Err(e) => {
+            // The guarded behaviour: arbitrary binary (an INET blob, say)
+            // is rejected, not dereferenced.
+            ctx.branch("bad-wkb");
+            runtime_err(format!("ST_GEOMFROMWKB(): {e}"))
+        }
+    }
+}
+
+fn f_point(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let x = some_or_null!(want_f64(ctx, args, 0)?);
+    let y = some_or_null!(want_f64(ctx, args, 1)?);
+    Ok(Value::Geometry(Geometry::Point(Point { x, y })))
+}
+
+fn f_linestring(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let mut pts = Vec::with_capacity(args.len());
+    for (i, a) in args.iter().enumerate() {
+        match &a.value {
+            Value::Geometry(Geometry::Point(p)) => pts.push(*p),
+            Value::Null => return Ok(Value::Null),
+            _ => {
+                let g = some_or_null!(want_geometry(ctx, args, i)?);
+                match g {
+                    Geometry::Point(p) => pts.push(p),
+                    _ => {
+                        ctx.branch("non-point");
+                        return type_err("LINESTRING(): arguments must be points");
+                    }
+                }
+            }
+        }
+    }
+    Ok(Value::Geometry(Geometry::LineString(pts)))
+}
+
+fn f_x(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match some_or_null!(want_geometry(ctx, args, 0)?) {
+        Geometry::Point(p) => Ok(Value::Float(p.x)),
+        _ => {
+            ctx.branch("non-point");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_y(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    match some_or_null!(want_geometry(ctx, args, 0)?) {
+        Geometry::Point(p) => Ok(Value::Float(p.y)),
+        _ => {
+            ctx.branch("non-point");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_dimension(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Integer(g.dimension() as i64))
+}
+
+fn f_numpoints(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Integer(g.num_points() as i64))
+}
+
+fn f_length(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Float(g.length()))
+}
+
+fn f_area(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Float(g.area()))
+}
+
+fn f_envelope(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    match g.envelope() {
+        Ok(e) => Ok(Value::Geometry(e)),
+        Err(_) => {
+            ctx.branch("empty-geometry");
+            Ok(Value::Null)
+        }
+    }
+}
+
+/// `BOUNDARY(g)` — the guarded version validates its input is a geometry
+/// (via the cast layer) before computing; MariaDB's missing validation here
+/// is the Case 6 SEGV, reproduced in the fault corpus.
+fn f_boundary(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    match g.boundary() {
+        Ok(b) => Ok(Value::Geometry(b)),
+        Err(e) => {
+            ctx.branch("unsupported-kind");
+            runtime_err(format!("BOUNDARY(): {e}"))
+        }
+    }
+}
+
+fn f_isempty(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Boolean(matches!(g, Geometry::Collection(ref c) if c.is_empty())))
+}
+
+fn f_equals(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_geometry(ctx, args, 0)?);
+    let b = some_or_null!(want_geometry(ctx, args, 1)?);
+    Ok(Value::Boolean(a == b))
+}
+
+fn f_distance(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_geometry(ctx, args, 0)?);
+    let b = some_or_null!(want_geometry(ctx, args, 1)?);
+    match (a, b) {
+        (Geometry::Point(p), Geometry::Point(q)) => {
+            Ok(Value::Float(((p.x - q.x).powi(2) + (p.y - q.y).powi(2)).sqrt()))
+        }
+        _ => {
+            ctx.branch("non-point");
+            runtime_err("ST_DISTANCE(): only point-point distance is supported")
+        }
+    }
+}
+
+/// Bounding-box containment (a simplification of real predicates, which is
+/// all the workload generators need).
+fn f_contains(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let a = some_or_null!(want_geometry(ctx, args, 0)?);
+    let b = some_or_null!(want_geometry(ctx, args, 1)?);
+    let env = |g: &Geometry| -> Option<(f64, f64, f64, f64)> {
+        match g.envelope() {
+            Ok(Geometry::Polygon(rings)) => {
+                let r = rings.first()?;
+                let minx = r.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+                let maxx = r.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+                let miny = r.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+                let maxy = r.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+                Some((minx, maxx, miny, maxy))
+            }
+            _ => None,
+        }
+    };
+    match (env(&a), env(&b)) {
+        (Some(ea), Some(eb)) => Ok(Value::Boolean(
+            ea.0 <= eb.0 && ea.1 >= eb.1 && ea.2 <= eb.2 && ea.3 >= eb.3,
+        )),
+        _ => {
+            ctx.branch("empty-geometry");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_geometrytype(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let g = some_or_null!(want_geometry(ctx, args, 0)?);
+    Ok(Value::Text(g.kind().to_string()))
+}

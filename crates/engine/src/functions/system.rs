@@ -1,0 +1,214 @@
+//! System, session, sequence and network-address built-ins.
+//!
+//! All session values are deterministic (fixed clock, counter-backed UUIDs,
+//! seeded RAND) so campaigns are exactly reproducible.
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::functions::string::some_or_null;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::inet;
+use soft_types::value::Value;
+
+fn def(
+    name: &'static str,
+    cat: C,
+    min: usize,
+    max: Option<usize>,
+    f: ScalarImpl,
+) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: cat,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Scalar(f),
+    }
+}
+
+/// Registers the system / sequence functions.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("version", C::System, 0, Some(0), f_version));
+    r.register(def("database", C::System, 0, Some(0), f_database));
+    r.register(def("current_user", C::System, 0, Some(0), f_user));
+    r.register(def("user", C::System, 0, Some(0), f_user));
+    r.register(def("session_user", C::System, 0, Some(0), f_user));
+    r.register(def("connection_id", C::System, 0, Some(0), f_connection_id));
+    r.register(def("uuid", C::System, 0, Some(0), f_uuid));
+    r.register(def("benchmark", C::Control, 2, Some(2), f_benchmark));
+    r.register(def("sleep", C::Control, 1, Some(1), f_sleep));
+    r.register(def("last_insert_id", C::System, 0, Some(1), f_last_insert_id));
+    r.register(def("found_rows", C::System, 0, Some(0), f_found_rows));
+    r.register(def("charset", C::System, 1, Some(1), f_charset));
+    r.register(def("collation", C::System, 1, Some(1), f_collation));
+    r.register(def("coercibility", C::System, 1, Some(1), f_coercibility));
+    r.register(def("typeof", C::System, 1, Some(1), f_typeof));
+    r.register(def("inet_aton", C::System, 1, Some(1), f_inet_aton));
+    r.register(def("inet_ntoa", C::System, 1, Some(1), f_inet_ntoa));
+    r.register(def("inet6_aton", C::System, 1, Some(1), f_inet6_aton));
+    r.register(def("inet6_ntoa", C::System, 1, Some(1), f_inet6_ntoa));
+    r.register(def("is_ipv4", C::System, 1, Some(1), f_is_ipv4));
+    r.register(def("is_ipv6", C::System, 1, Some(1), f_is_ipv6));
+    r.register(def("nextval", C::Sequence, 1, Some(1), f_nextval));
+    r.register(def("currval", C::Sequence, 1, Some(1), f_currval));
+    r.register(def("lastval", C::Sequence, 1, Some(1), f_currval));
+    r.register(def("setval", C::Sequence, 2, Some(2), f_setval));
+}
+
+fn f_version(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Text("soft-engine 0.1.0".into()))
+}
+
+fn f_database(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Text("main".into()))
+}
+
+fn f_user(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Text("soft@localhost".into()))
+}
+
+fn f_connection_id(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Integer(1))
+}
+
+fn f_uuid(ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    ctx.session.uuid_counter += 1;
+    let n = ctx.session.uuid_counter;
+    Ok(Value::Text(format!(
+        "00000000-0000-4000-8000-{n:012x}"
+    )))
+}
+
+fn f_benchmark(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let n = some_or_null!(want_int(ctx, args, 0)?);
+    // The expression argument was already evaluated once by the caller;
+    // a real BENCHMARK re-evaluates it n times. We only bound the count.
+    let _ = ctx.repeat_count(n)?;
+    Ok(Value::Integer(0))
+}
+
+fn f_sleep(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let secs = some_or_null!(want_f64(ctx, args, 0)?);
+    if secs < 0.0 {
+        ctx.branch("negative");
+        return runtime_err("SLEEP(): negative duration");
+    }
+    // Never actually sleeps (reproducibility); bounded like a resource.
+    if secs > 3600.0 {
+        return Err(EngineError::Sql(crate::error::SqlError::ResourceLimit(
+            "SLEEP duration too long".into(),
+        )));
+    }
+    Ok(Value::Integer(0))
+}
+
+fn f_last_insert_id(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    if !args.is_empty() {
+        if let Some(v) = want_int(ctx, args, 0)? {
+            ctx.session.last_insert_id = v;
+        }
+    }
+    Ok(Value::Integer(ctx.session.last_insert_id))
+}
+
+fn f_found_rows(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Integer(0))
+}
+
+fn f_charset(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Text("utf8mb4".into()))
+}
+
+fn f_collation(_ctx: &mut FnCtx<'_>, _args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Text("utf8mb4_general_ci".into()))
+}
+
+fn f_coercibility(_ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Integer(if args[0].provenance.is_literal() { 4 } else { 2 }))
+}
+
+fn f_typeof(_ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    Ok(Value::Text(args[0].value.data_type().sql_name().to_string()))
+}
+
+fn f_inet_aton(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let s = some_or_null!(want_text(ctx, args, 0)?);
+    match inet::inet_aton(&s) {
+        Ok(v) => Ok(Value::Integer(v as i64)),
+        Err(_) => {
+            ctx.branch("bad-address");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_inet_ntoa(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let n = some_or_null!(want_int(ctx, args, 0)?);
+    match u32::try_from(n) {
+        Ok(v) => Ok(Value::Text(inet::inet_ntoa(v))),
+        Err(_) => {
+            ctx.branch("out-of-range");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_inet6_aton(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let s = some_or_null!(want_text(ctx, args, 0)?);
+    match inet::inet6_aton(&s) {
+        // The binary return value here is what flows into BOUNDARY in the
+        // Listing 11 chain.
+        Ok(b) => Ok(Value::Binary(b)),
+        Err(_) => {
+            ctx.branch("bad-address");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_inet6_ntoa(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let b = some_or_null!(want_binary(ctx, args, 0)?);
+    match inet::inet6_ntoa(&b) {
+        Ok(s) => Ok(Value::Text(s)),
+        Err(_) => {
+            ctx.branch("bad-blob");
+            Ok(Value::Null)
+        }
+    }
+}
+
+fn f_is_ipv4(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let s = some_or_null!(want_text(ctx, args, 0)?);
+    Ok(Value::Boolean(inet::inet_aton(&s).is_ok()))
+}
+
+fn f_is_ipv6(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let s = some_or_null!(want_text(ctx, args, 0)?);
+    Ok(Value::Boolean(s.contains(':') && inet::inet6_aton(&s).is_ok()))
+}
+
+fn f_nextval(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let name = some_or_null!(want_text(ctx, args, 0)?);
+    let v = ctx.session.sequences.entry(name.to_ascii_lowercase()).or_insert(0);
+    *v += 1;
+    Ok(Value::Integer(*v))
+}
+
+fn f_currval(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let name = some_or_null!(want_text(ctx, args, 0)?);
+    match ctx.session.sequences.get(&name.to_ascii_lowercase()) {
+        Some(v) => Ok(Value::Integer(*v)),
+        None => {
+            ctx.branch("unknown-sequence");
+            runtime_err(format!("sequence {name} has not been used yet"))
+        }
+    }
+}
+
+fn f_setval(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let name = some_or_null!(want_text(ctx, args, 0)?);
+    let v = some_or_null!(want_int(ctx, args, 1)?);
+    ctx.session.sequences.insert(name.to_ascii_lowercase(), v);
+    Ok(Value::Integer(v))
+}

@@ -1,0 +1,90 @@
+//! XML built-ins (`ExtractValue` / `UpdateXML` — the Listing 2 pair).
+
+use crate::error::EngineError;
+use crate::eval::Evaluated;
+use crate::functions::string::some_or_null;
+use crate::registry::*;
+use soft_types::category::FunctionCategory as C;
+use soft_types::value::Value;
+use soft_types::xml::{XPath, XmlDocument};
+
+fn def(name: &'static str, min: usize, max: Option<usize>, f: ScalarImpl) -> FunctionDef {
+    FunctionDef {
+        name,
+        category: C::Xml,
+        min_args: min,
+        max_args: max,
+        implementation: FunctionImpl::Scalar(f),
+    }
+}
+
+/// Registers the XML functions.
+pub fn install(r: &mut FunctionRegistry) {
+    r.register(def("extractvalue", 2, Some(2), f_extractvalue));
+    r.register(def("updatexml", 3, Some(3), f_updatexml));
+    r.register(def("xml_valid", 1, Some(1), f_xml_valid));
+    r.register(def("beautify_xml", 1, Some(1), f_beautify_xml));
+}
+
+fn parse_xpath(ctx: &mut FnCtx<'_>, p: &str) -> Result<Option<XPath>, EngineError> {
+    match XPath::parse(p) {
+        Ok(x) => Ok(Some(x)),
+        Err(_) => {
+            ctx.branch("bad-xpath");
+            Ok(None)
+        }
+    }
+}
+
+fn f_extractvalue(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let doc = some_or_null!(want_xml(ctx, args, 0)?);
+    let p = some_or_null!(want_text(ctx, args, 1)?);
+    let Some(path) = parse_xpath(ctx, &p)? else {
+        return runtime_err(format!("invalid XPath {p:?}"));
+    };
+    let hits = doc.select(&path);
+    if hits.is_empty() {
+        ctx.branch("no-match");
+        return Ok(Value::Text(String::new()));
+    }
+    let texts: Vec<String> = hits.iter().map(|n| n.text_content()).collect();
+    Ok(Value::Text(texts.join(" ")))
+}
+
+fn f_updatexml(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let mut doc = some_or_null!(want_xml(ctx, args, 0)?);
+    let p = some_or_null!(want_text(ctx, args, 1)?);
+    let replacement = some_or_null!(want_text(ctx, args, 2)?);
+    let Some(path) = parse_xpath(ctx, &p)? else {
+        return runtime_err(format!("invalid XPath {p:?}"));
+    };
+    // The replacement fragment must itself parse; a correct implementation
+    // validates it before splicing (the MySQL xml UAF lived here).
+    let frag = match XmlDocument::parse(&replacement) {
+        Ok(f) => f,
+        Err(_) => {
+            ctx.branch("bad-replacement");
+            return Ok(Value::Null);
+        }
+    };
+    let Some(node) = frag.roots.into_iter().next() else {
+        ctx.branch("empty-replacement");
+        return Ok(Value::Xml(doc));
+    };
+    if !doc.replace_first(&path, node) {
+        ctx.branch("no-match");
+    }
+    let v = Value::Xml(doc);
+    ctx.charge(&v)?;
+    Ok(v)
+}
+
+fn f_xml_valid(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let s = some_or_null!(want_text(ctx, args, 0)?);
+    Ok(Value::Boolean(XmlDocument::parse(&s).is_ok()))
+}
+
+fn f_beautify_xml(ctx: &mut FnCtx<'_>, args: &[Evaluated]) -> Result<Value, EngineError> {
+    let doc = some_or_null!(want_xml(ctx, args, 0)?);
+    Ok(Value::Text(doc.to_xml_string()))
+}

@@ -1,0 +1,41 @@
+//! The SQL engine substrate for the SOFT reproduction.
+//!
+//! An in-memory SQL engine with the three-stage pipeline the paper's
+//! root-cause analysis is organised around (parse / optimize / execute), a
+//! provenance-carrying evaluator, roughly 190 built-in functions across the
+//! paper's categories, feature-branch coverage of the function component,
+//! a crash model where injected faults surface as values, and the fault-
+//! predicate language the dialect corpus is written in.
+//!
+//! # Examples
+//!
+//! ```
+//! use soft_engine::{Engine, ExecOutcome};
+//!
+//! let mut e = Engine::with_default_functions(Default::default());
+//! match e.execute("SELECT JSON_LENGTH('[1,2,3]', '$[2]')") {
+//!     ExecOutcome::Rows(rs) => assert_eq!(rs.rows[0][0].render(), "1"),
+//!     other => panic!("unexpected {other:?}"),
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod coverage;
+pub mod error;
+pub mod eval;
+pub mod executor;
+pub mod fault;
+pub mod functions;
+pub mod regex;
+pub mod registry;
+
+mod engine;
+
+pub use engine::{Engine, EngineConfig};
+pub use error::{CrashKind, CrashReport, ExecOutcome, ResultSet, SqlError, Stage};
+pub use eval::{Evaluated, Provenance};
+pub use fault::{FaultSet, FaultSite, FaultSpec, PatternId, ProvPred, Trigger, ValuePred};
+pub use registry::{FunctionDef, FunctionRegistry, Limits};

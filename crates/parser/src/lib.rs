@@ -1,0 +1,29 @@
+//! SQL lexer, parser, AST and rewriting utilities for the SOFT reproduction.
+//!
+//! The grammar covers the SQL subset the paper's experiments exercise:
+//! `SELECT` (with `DISTINCT`, `FROM`, `WHERE`, `GROUP BY`, `HAVING`,
+//! `ORDER BY`, `LIMIT`, `UNION [ALL]`), `CREATE TABLE`, `INSERT`, `DROP
+//! TABLE`, and an expression language with function calls (including `*`
+//! arguments and aggregate `DISTINCT`), explicit casts in both `CAST(x AS t)`
+//! and PostgreSQL `x::t` forms, `CASE`, `ROW(...)`, array literals, scalar
+//! subqueries and interval literals.
+//!
+//! # Examples
+//!
+//! ```
+//! use soft_parser::parse_statement;
+//!
+//! let stmt = parse_statement("SELECT REPEAT('[', 1000)::json").unwrap();
+//! assert_eq!(stmt.to_string(), "SELECT REPEAT('[', 1000)::json");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod lexer;
+pub mod parser;
+pub mod visit;
+
+pub use ast::{Expr, FunctionExpr, Literal, Query, SelectBody, SelectItem, SelectStmt, Statement, TypeName};
+pub use parser::{parse_expression, parse_script, parse_statement, ParseError};

@@ -1,0 +1,144 @@
+//! A corpus of tricky statements: round-trip stability, operator binding,
+//! and rejection of malformed input — the properties the generators depend
+//! on when splicing mutated expressions back into statements.
+
+use soft_parser::{parse_statement, Statement};
+
+fn roundtrip(sql: &str) -> Statement {
+    let s1 = parse_statement(sql).unwrap_or_else(|e| panic!("parse {sql:?}: {e}"));
+    let printed = s1.to_string();
+    let s2 =
+        parse_statement(&printed).unwrap_or_else(|e| panic!("reparse {printed:?}: {e}"));
+    assert_eq!(s1, s2, "{sql:?} via {printed:?}");
+    s1
+}
+
+#[test]
+fn operator_binding_corpus() {
+    for (sql, canon) in [
+        ("SELECT 1+2*3", "SELECT 1 + 2 * 3"),
+        ("SELECT (1+2)*3", "SELECT (1 + 2) * 3"),
+        ("SELECT 1-2-3", "SELECT 1 - 2 - 3"),
+        ("SELECT -(1+2)", "SELECT -(1 + 2)"),
+        ("SELECT NOT a AND b", "SELECT (NOT a) AND b"),
+        ("SELECT a OR b AND c OR d", "SELECT a OR (b AND c) OR d"),
+        ("SELECT a = b OR c = d", "SELECT (a = b) OR (c = d)"),
+        ("SELECT 'a'||'b'||'c'", "SELECT 'a' || 'b' || 'c'"),
+        ("SELECT a < b = c", "SELECT (a < b) = c"),
+        ("SELECT - - 5", "SELECT --5"),
+    ] {
+        let stmt = roundtrip(sql);
+        // Compare canonicalized forms modulo whitespace differences the
+        // printer makes deterministic.
+        let printed = stmt.to_string();
+        let strip = |s: &str| s.replace([' ', '(', ')'], "");
+        assert_eq!(strip(&printed), strip(canon), "{sql} printed as {printed}");
+    }
+}
+
+#[test]
+fn pathological_literal_corpus() {
+    for sql in [
+        // Digit monsters.
+        &format!("SELECT {}", "9".repeat(500)),
+        &format!("SELECT f(0.{})", "9".repeat(300)),
+        &format!("SELECT f(-{}e-{})", "1".repeat(50), "2".repeat(3)),
+        // String monsters.
+        &format!("SELECT f('{}')", "x".repeat(10_000)),
+        &format!("SELECT f('{}')", "''".repeat(500)),
+        // Unicode in literals and nothing else.
+        "SELECT f('héllo wörld — ✓')",
+        "SELECT f('\u{1F4A3}')",
+        // Mixed quotes.
+        "SELECT f('it''s ''quoted''')",
+    ] {
+        roundtrip(sql);
+    }
+}
+
+#[test]
+fn clause_combination_corpus() {
+    for sql in [
+        "SELECT DISTINCT a, b FROM t WHERE a IN (1, 2) AND b NOT IN (3) GROUP BY a, b HAVING COUNT(*) BETWEEN 1 AND 9 ORDER BY a, b DESC LIMIT 7",
+        "SELECT a FROM (SELECT a FROM (SELECT 1 AS a) x) y",
+        "SELECT (SELECT (SELECT 1))",
+        "SELECT 1 UNION SELECT 2 UNION ALL SELECT 3",
+        "(SELECT 1 UNION SELECT 2) UNION SELECT 3",
+        "SELECT CASE WHEN a THEN CASE WHEN b THEN 1 ELSE 2 END ELSE 3 END FROM t",
+        "SELECT f(g(h('x')), [1, [2, [3]]], ROW(ROW(1)))",
+        "SELECT CAST(CAST(1 AS TEXT) AS BINARY)",
+        "SELECT '1'::INTEGER::TEXT",
+        "SELECT a IS NULL AND b IS NOT NULL FROM t",
+        "INSERT INTO t VALUES (1, 'a'), (NULL, ''), (-0.5, x'00')",
+        "CREATE TABLE IF NOT EXISTS t2 (a DECIMAL(10,2) NOT NULL, b VARCHAR(255) NULL)",
+    ] {
+        roundtrip(sql);
+    }
+}
+
+#[test]
+fn rejection_corpus() {
+    for sql in [
+        "SELECT 1 1",
+        "SELECT ,",
+        "SELECT f(,)",
+        "SELECT f(1,)",
+        "SELECT 'abc",
+        "SELECT \"abc",
+        "SELECT 1 FROM",
+        "SELECT 1 WHERE",
+        "SELECT 1 GROUP BY",
+        "SELECT 1 ORDER BY",
+        "SELECT 1 LIMIT 'x'",
+        "SELECT 1 UNION",
+        "SELECT CAST(1)",
+        "SELECT CAST(1 AS)",
+        "SELECT 1::",
+        "SELECT CASE WHEN 1 END",
+        "SELECT BETWEEN 1 AND 2",
+        "SELECT a NOT LIKE",
+        "INSERT INTO VALUES (1)",
+        "CREATE TABLE (a INT)",
+        "DROP t",
+        "SELECT [1, 2",
+        "SELECT ROW(",
+        "SELECT EXISTS 1",
+        "SELECT INTERVAL 5",
+    ] {
+        assert!(parse_statement(sql).is_err(), "{sql:?} should be rejected");
+    }
+}
+
+#[test]
+fn keyword_case_and_spacing_insensitivity() {
+    let variants = [
+        "SELECT COUNT(*) FROM t WHERE a > 1",
+        "select count(*) from t where a > 1",
+        "SeLeCt CoUnT(*) FrOm t WhErE a > 1",
+        "  SELECT\n\tCOUNT( * )\nFROM   t\nWHERE a>1  ",
+    ];
+    let parsed: Vec<Statement> = variants
+        .iter()
+        .map(|v| parse_statement(v).unwrap_or_else(|e| panic!("{v:?}: {e}")))
+        .collect();
+    // All variants parse to structurally equal statements, modulo the
+    // preserved identifier spelling.
+    for s in &parsed[1..] {
+        assert_eq!(s.to_string().to_lowercase(), parsed[0].to_string().to_lowercase());
+    }
+}
+
+#[test]
+fn comments_are_transparent() {
+    let a = parse_statement("SELECT /* mid */ 1 -- tail\n + 2").unwrap();
+    let b = parse_statement("SELECT 1 + 2").unwrap();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn deeply_nested_arrays_parse_within_guard() {
+    let ok = format!("SELECT {}1{}", "[".repeat(60), "]".repeat(60));
+    roundtrip(&ok);
+    let too_deep = format!("SELECT {}1{}", "[".repeat(5000), "]".repeat(5000));
+    assert!(parse_statement(&too_deep).is_err());
+}

@@ -1,0 +1,268 @@
+//! Analyses over the dataset: the exact computations behind Tables 1–2,
+//! Figure 1, Findings 1–4 and the §5 root-cause breakdown, plus the paper's
+//! published values for comparison.
+
+use crate::model::*;
+use soft_types::category::FunctionCategory;
+use std::collections::{BTreeMap, HashSet};
+
+/// Table 1: studied bugs per DBMS.
+pub fn table1(bugs: &[StudiedBug]) -> Vec<(StudiedDbms, usize)> {
+    StudiedDbms::ALL
+        .iter()
+        .map(|d| (*d, bugs.iter().filter(|b| b.dbms == *d).count()))
+        .collect()
+}
+
+/// Finding 1: crash-stage distribution over bugs with backtraces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageBreakdown {
+    /// Bugs whose report had an identifiable backtrace.
+    pub with_backtrace: usize,
+    /// Crashes at execution.
+    pub execution: usize,
+    /// Crashes at optimization.
+    pub optimization: usize,
+    /// Crashes at parsing.
+    pub parsing: usize,
+}
+
+/// Computes Finding 1.
+pub fn finding1(bugs: &[StudiedBug]) -> StageBreakdown {
+    let mut out = StageBreakdown { with_backtrace: 0, execution: 0, optimization: 0, parsing: 0 };
+    for b in bugs {
+        match b.stage {
+            Some(OccurrenceStage::Execution) => {
+                out.with_backtrace += 1;
+                out.execution += 1;
+            }
+            Some(OccurrenceStage::Optimization) => {
+                out.with_backtrace += 1;
+                out.optimization += 1;
+            }
+            Some(OccurrenceStage::Parsing) => {
+                out.with_backtrace += 1;
+                out.parsing += 1;
+            }
+            None => {}
+        }
+    }
+    out
+}
+
+/// Figure 1 / Finding 2: per-category occurrence and unique-function counts.
+pub fn figure1(bugs: &[StudiedBug]) -> Vec<(FunctionCategory, usize, usize)> {
+    let mut occ: BTreeMap<FunctionCategory, usize> = BTreeMap::new();
+    let mut uniq: BTreeMap<FunctionCategory, HashSet<&str>> = BTreeMap::new();
+    for b in bugs {
+        for f in &b.functions {
+            *occ.entry(f.category).or_insert(0) += 1;
+            uniq.entry(f.category).or_default().insert(&f.name);
+        }
+    }
+    let mut out: Vec<(FunctionCategory, usize, usize)> = occ
+        .into_iter()
+        .map(|(c, o)| (c, o, uniq.get(&c).map(HashSet::len).unwrap_or(0)))
+        .collect();
+    out.sort_by_key(|&(_, occ, _)| std::cmp::Reverse(occ));
+    out
+}
+
+/// Total function-expression occurrences (Finding 2's 508).
+pub fn total_occurrences(bugs: &[StudiedBug]) -> usize {
+    bugs.iter().map(StudiedBug::expr_count).sum()
+}
+
+/// Table 2: histogram of function-expression counts per bug-inducing
+/// statement; the last bucket is `>= 5`.
+pub fn table2(bugs: &[StudiedBug]) -> [usize; 5] {
+    let mut out = [0usize; 5];
+    for b in bugs {
+        let n = b.expr_count().clamp(1, 5);
+        out[n - 1] += 1;
+    }
+    out
+}
+
+/// Finding 3: bugs with at most two function expressions.
+pub fn finding3(bugs: &[StudiedBug]) -> usize {
+    bugs.iter().filter(|b| b.expr_count() <= 2).count()
+}
+
+/// Finding 4: prerequisite distribution.
+pub fn finding4(bugs: &[StudiedBug]) -> [(Prerequisite, usize); 3] {
+    [
+        Prerequisite::TableWithData,
+        Prerequisite::NoTable,
+        Prerequisite::EmptyTable,
+    ]
+    .map(|p| (p, bugs.iter().filter(|b| b.prerequisite == p).count()))
+}
+
+/// §5 root-cause breakdown.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RootCauseBreakdown {
+    /// Boundary literal values (total).
+    pub literal: usize,
+    /// ... of which extreme numerics.
+    pub literal_extreme: usize,
+    /// ... of which empty string / NULL.
+    pub literal_empty_null: usize,
+    /// ... of which crafted formats.
+    pub literal_crafted: usize,
+    /// Boundary type castings.
+    pub casting: usize,
+    /// Nested-function returns.
+    pub nested: usize,
+    /// Configurations.
+    pub configuration: usize,
+    /// Table definitions.
+    pub table_definition: usize,
+    /// Syntax structures.
+    pub syntax: usize,
+}
+
+impl RootCauseBreakdown {
+    /// The boundary-argument total (87.4 % claim).
+    pub fn boundary_total(&self) -> usize {
+        self.literal + self.casting + self.nested
+    }
+}
+
+/// Computes the §5 breakdown.
+pub fn root_causes(bugs: &[StudiedBug]) -> RootCauseBreakdown {
+    let mut out = RootCauseBreakdown {
+        literal: 0,
+        literal_extreme: 0,
+        literal_empty_null: 0,
+        literal_crafted: 0,
+        casting: 0,
+        nested: 0,
+        configuration: 0,
+        table_definition: 0,
+        syntax: 0,
+    };
+    for b in bugs {
+        match b.root_cause {
+            RootCause::BoundaryLiteral(k) => {
+                out.literal += 1;
+                match k {
+                    LiteralKind::ExtremeNumeric => out.literal_extreme += 1,
+                    LiteralKind::EmptyOrNull => out.literal_empty_null += 1,
+                    LiteralKind::CraftedFormat => out.literal_crafted += 1,
+                }
+            }
+            RootCause::BoundaryCast => out.casting += 1,
+            RootCause::NestedFunction => out.nested += 1,
+            RootCause::Configuration => out.configuration += 1,
+            RootCause::TableDefinition => out.table_definition += 1,
+            RootCause::SyntaxStructure => out.syntax += 1,
+        }
+    }
+    out
+}
+
+/// The paper's published values, for paper-vs-measured reporting.
+pub mod paper {
+    /// Table 1 row.
+    pub const TABLE1: [(&str, usize); 3] =
+        [("PostgreSQL", 39), ("MySQL", 10), ("MariaDB", 269)];
+    /// Total studied bugs.
+    pub const TOTAL_BUGS: usize = 318;
+    /// Finding 1 values.
+    pub const WITH_BACKTRACE: usize = 230;
+    /// Execution-stage crashes.
+    pub const STAGE_EXECUTION: usize = 161;
+    /// Optimization-stage crashes.
+    pub const STAGE_OPTIMIZATION: usize = 45;
+    /// Parsing-stage crashes.
+    pub const STAGE_PARSING: usize = 24;
+    /// Finding 2: total function-expression occurrences.
+    pub const TOTAL_OCCURRENCES: usize = 508;
+    /// Figure 1: string occurrences / unique functions.
+    pub const STRING_OCCURRENCES: usize = 117;
+    /// Unique string functions.
+    pub const STRING_UNIQUE: usize = 57;
+    /// Aggregate occurrences.
+    pub const AGGREGATE_OCCURRENCES: usize = 91;
+    /// Table 2 histogram (1, 2, 3, 4, >=5).
+    pub const TABLE2: [usize; 5] = [191, 87, 23, 11, 6];
+    /// Finding 4 (table+data, no table, empty table).
+    pub const FINDING4: [usize; 3] = [151, 132, 35];
+    /// §5 root causes: literals, castings, nested, config, table defs,
+    /// syntax.
+    pub const ROOT_CAUSES: [usize; 6] = [94, 74, 110, 8, 24, 8];
+    /// §6 literal sub-split: extreme, empty/NULL, crafted.
+    pub const LITERAL_SPLIT: [usize; 3] = [32, 21, 41];
+    /// The headline boundary share.
+    pub const BOUNDARY_TOTAL: usize = 278;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::studied_bugs;
+
+    #[test]
+    fn table1_matches_paper() {
+        let t = table1(&studied_bugs());
+        assert_eq!(t[0], (StudiedDbms::Postgres, 39));
+        assert_eq!(t[1], (StudiedDbms::Mysql, 10));
+        assert_eq!(t[2], (StudiedDbms::Mariadb, 269));
+    }
+
+    #[test]
+    fn finding1_matches_paper() {
+        let f = finding1(&studied_bugs());
+        assert_eq!(f.with_backtrace, paper::WITH_BACKTRACE);
+        assert_eq!(f.execution, paper::STAGE_EXECUTION);
+        assert_eq!(f.optimization, paper::STAGE_OPTIMIZATION);
+        assert_eq!(f.parsing, paper::STAGE_PARSING);
+    }
+
+    #[test]
+    fn finding2_and_figure1_match_paper() {
+        let bugs = studied_bugs();
+        assert_eq!(total_occurrences(&bugs), paper::TOTAL_OCCURRENCES);
+        let fig = figure1(&bugs);
+        // String leads with 117/57, aggregate second with 91.
+        assert_eq!(fig[0].0.label(), "string");
+        assert_eq!(fig[0].1, paper::STRING_OCCURRENCES);
+        assert_eq!(fig[0].2, paper::STRING_UNIQUE);
+        assert_eq!(fig[1].0.label(), "aggregate");
+        assert_eq!(fig[1].1, paper::AGGREGATE_OCCURRENCES);
+    }
+
+    #[test]
+    fn table2_and_finding3_match_paper() {
+        let bugs = studied_bugs();
+        assert_eq!(table2(&bugs), paper::TABLE2);
+        assert_eq!(finding3(&bugs), 278);
+    }
+
+    #[test]
+    fn finding4_matches_paper() {
+        let f = finding4(&studied_bugs());
+        assert_eq!(f[0].1, 151);
+        assert_eq!(f[1].1, 132);
+        assert_eq!(f[2].1, 35);
+    }
+
+    #[test]
+    fn root_causes_match_paper() {
+        let rc = root_causes(&studied_bugs());
+        assert_eq!(rc.literal, 94);
+        assert_eq!(rc.casting, 74);
+        assert_eq!(rc.nested, 110);
+        assert_eq!(rc.configuration, 8);
+        assert_eq!(rc.table_definition, 24);
+        assert_eq!(rc.syntax, 8);
+        assert_eq!(rc.boundary_total(), paper::BOUNDARY_TOTAL);
+        assert_eq!(rc.literal_extreme, 32);
+        assert_eq!(rc.literal_empty_null, 21);
+        assert_eq!(rc.literal_crafted, 41);
+        // The 87.4 % headline.
+        let share = rc.boundary_total() as f64 / 318.0;
+        assert!((share - 0.874).abs() < 0.001, "{share}");
+    }
+}

@@ -1,0 +1,140 @@
+//! The data model of the characteristic study (§3–§5).
+
+use soft_types::category::FunctionCategory;
+use std::fmt;
+
+/// The three DBMSs the study collected bugs from (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum StudiedDbms {
+    /// PostgreSQL (bug report mailing list + CVEs).
+    Postgres,
+    /// MySQL (MySQL Bug System).
+    Mysql,
+    /// MariaDB (JIRA).
+    Mariadb,
+}
+
+impl StudiedDbms {
+    /// All three, Table 1 order.
+    pub const ALL: [StudiedDbms; 3] =
+        [StudiedDbms::Postgres, StudiedDbms::Mysql, StudiedDbms::Mariadb];
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            StudiedDbms::Postgres => "PostgreSQL",
+            StudiedDbms::Mysql => "MySQL",
+            StudiedDbms::Mariadb => "MariaDB",
+        }
+    }
+}
+
+impl fmt::Display for StudiedDbms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The DBMS processing stage a crash occurred in (§4.1); mirrors the engine
+/// crate's stage enum but kept independent so the study crate stays a pure
+/// data layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum OccurrenceStage {
+    /// During parsing.
+    Parsing,
+    /// During optimization.
+    Optimization,
+    /// During execution.
+    Execution,
+}
+
+/// What a PoC needs before the bug-inducing statement (§4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Prerequisite {
+    /// CREATE TABLE + INSERT.
+    TableWithData,
+    /// No table at all (literal-only PoC).
+    NoTable,
+    /// A specific table definition without data.
+    EmptyTable,
+}
+
+/// Sub-classes of boundary literal values (§6, "Patterns of Boundary
+/// Literal Values").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum LiteralKind {
+    /// Extreme integer or decimal values (32 bugs).
+    ExtremeNumeric,
+    /// Empty strings or NULL (21 bugs).
+    EmptyOrNull,
+    /// Crafted strings in specific formats, e.g. JSON/DATE (41 bugs).
+    CraftedFormat,
+}
+
+/// Root causes (§5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum RootCause {
+    /// Boundary literal values (§5.1).
+    BoundaryLiteral(LiteralKind),
+    /// Boundary results of type castings (§5.2).
+    BoundaryCast,
+    /// Boundary return values of nested functions (§5.3).
+    NestedFunction,
+    /// DBMS configuration (§5.4).
+    Configuration,
+    /// Specific table definitions (§5.4).
+    TableDefinition,
+    /// Complex syntax structures (§5.4).
+    SyntaxStructure,
+}
+
+impl RootCause {
+    /// True for the three boundary-argument causes (the 87.4 %).
+    pub fn is_boundary(&self) -> bool {
+        matches!(
+            self,
+            RootCause::BoundaryLiteral(_) | RootCause::BoundaryCast | RootCause::NestedFunction
+        )
+    }
+}
+
+/// One occurrence of a SQL function inside a PoC: its category and name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FunctionOccurrence {
+    /// Figure 1 category.
+    pub category: FunctionCategory,
+    /// Function name (real for exemplars, synthesised otherwise).
+    pub name: String,
+}
+
+/// One studied bug record.
+#[derive(Debug, Clone)]
+pub struct StudiedBug {
+    /// Sequential id within the dataset.
+    pub id: u32,
+    /// Which DBMS's tracker it came from.
+    pub dbms: StudiedDbms,
+    /// Tracker / CVE reference (`SYN-...` for synthesised records).
+    pub reference: String,
+    /// Crash stage, when the report contained a usable backtrace.
+    pub stage: Option<OccurrenceStage>,
+    /// Function expressions occurring in the bug-inducing statement; its
+    /// length is the Table 2 metric.
+    pub functions: Vec<FunctionOccurrence>,
+    /// Prerequisite statements the PoC needs.
+    pub prerequisite: Prerequisite,
+    /// Root cause classification.
+    pub root_cause: RootCause,
+    /// The PoC, when transcribed from the paper.
+    pub poc: Option<String>,
+    /// True when the record was synthesised to fill the published marginal
+    /// distributions (see DESIGN.md §2).
+    pub synthetic: bool,
+}
+
+impl StudiedBug {
+    /// The Table 2 metric: function expressions in the statement.
+    pub fn expr_count(&self) -> usize {
+        self.functions.len()
+    }
+}

@@ -1,0 +1,316 @@
+//! Boundary-value classification.
+//!
+//! The paper's central empirical claim is that 87.4 % of SQL function bugs
+//! are triggered by *boundary values* of arguments — values at the edges of
+//! expected structures, ranges, lengths and nesting depths (§5). This module
+//! gives those edges a vocabulary: every [`Value`] can
+//! be classified into a set of [`BoundaryClass`]es. The engine uses the
+//! classes for feature-branch coverage, the fault corpus uses them as trigger
+//! predicates, and the analyses report on them.
+
+use crate::value::Value;
+
+/// A boundary feature of a value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum BoundaryClass {
+    /// SQL NULL.
+    NullValue,
+    /// The `*` pseudo-argument.
+    StarValue,
+    /// The empty string `''` (or empty binary).
+    EmptyString,
+    /// Numeric zero.
+    ZeroNumeric,
+    /// Negative number.
+    NegativeNumeric,
+    /// Integer with magnitude within 1000 of `i64::MIN`/`i64::MAX`.
+    ExtremeInt,
+    /// A non-finite float (NaN/±inf).
+    NonFiniteFloat,
+    /// Numeric value whose textual form has many digits; payload is the
+    /// bucket floor: 10, 20, 40 or 65 digits.
+    ManyDigits(u8),
+    /// String whose length falls in a large bucket; payload is the bucket
+    /// floor: 256, 4096 or 65536 bytes.
+    LongString(u32),
+    /// String consisting mostly of one repeated short prefix (the output
+    /// shape of `REPEAT` and of Patterns 1.4/3.1); payload is the repeat
+    /// count bucket floor: 8, 64 or 512.
+    RepeatedPrefix(u32),
+    /// Container or document nested deeply; payload is the depth bucket
+    /// floor: 8, 32 or 64.
+    DeepNesting(u8),
+    /// Empty container (array/map/row with no elements).
+    EmptyContainer,
+    /// A string that looks like structured data (starts like JSON/XML/WKT)
+    /// — the "crafted string literal in certain formats" class.
+    StructuredText,
+}
+
+/// Buckets a digit count to the floors used by [`BoundaryClass::ManyDigits`].
+fn digit_bucket(n: usize) -> Option<u8> {
+    match n {
+        0..=9 => None,
+        10..=19 => Some(10),
+        20..=39 => Some(20),
+        40..=64 => Some(40),
+        _ => Some(65),
+    }
+}
+
+fn len_bucket(n: usize) -> Option<u32> {
+    match n {
+        0..=255 => None,
+        256..=4095 => Some(256),
+        4096..=65535 => Some(4096),
+        _ => Some(65536),
+    }
+}
+
+fn depth_bucket(n: usize) -> Option<u8> {
+    match n {
+        0..=7 => None,
+        8..=31 => Some(8),
+        32..=63 => Some(32),
+        _ => Some(64),
+    }
+}
+
+fn repeat_bucket(n: usize) -> Option<u32> {
+    match n {
+        0..=7 => None,
+        8..=63 => Some(8),
+        64..=511 => Some(64),
+        _ => Some(512),
+    }
+}
+
+/// Length of the longest run of a repeated 1-4 byte prefix at the start of
+/// `s` (e.g. `"[1,[1,[1,"` has a repeated 3-byte prefix with run 3).
+pub fn repeated_prefix_run(s: &str) -> usize {
+    let bytes = s.as_bytes();
+    let mut best = 1;
+    for plen in 1..=4usize {
+        if bytes.len() < plen * 2 {
+            break;
+        }
+        let prefix = &bytes[..plen];
+        let mut count = 1;
+        let mut i = plen;
+        while i + plen <= bytes.len() && &bytes[i..i + plen] == prefix {
+            count += 1;
+            i += plen;
+        }
+        best = best.max(count);
+    }
+    best
+}
+
+/// True if the text looks like a structured format a SQL function might
+/// parse: JSON, XML, WKT, a date, or a network address.
+pub fn looks_structured(s: &str) -> bool {
+    let t = s.trim_start();
+    if t.starts_with('{') || t.starts_with('[') || t.starts_with('<') {
+        return true;
+    }
+    let upper = t.to_ascii_uppercase();
+    if upper.starts_with("POINT")
+        || upper.starts_with("LINESTRING")
+        || upper.starts_with("POLYGON")
+        || upper.starts_with("GEOMETRYCOLLECTION")
+    {
+        return true;
+    }
+    // Date-like: dddd-dd-dd; address-like: contains dots or colons between digits.
+    let b = t.as_bytes();
+    if b.len() >= 8 && b[..4].iter().all(u8::is_ascii_digit) && b[4] == b'-' {
+        return true;
+    }
+    if t.splitn(4, '.').count() == 4 && t.bytes().all(|c| c.is_ascii_digit() || c == b'.') {
+        return true;
+    }
+    false
+}
+
+/// Classifies a value into its boundary classes (possibly empty for an
+/// ordinary mid-range value).
+pub fn classify(value: &Value) -> Vec<BoundaryClass> {
+    use BoundaryClass::*;
+    let mut out = Vec::new();
+    match value {
+        Value::Null => out.push(NullValue),
+        Value::Star => out.push(StarValue),
+        Value::Integer(i) => {
+            if *i == 0 {
+                out.push(ZeroNumeric);
+            }
+            if *i < 0 {
+                out.push(NegativeNumeric);
+            }
+            if i.unsigned_abs() >= i64::MAX as u64 - 1000 {
+                out.push(ExtremeInt);
+            }
+            if let Some(b) = digit_bucket(i.unsigned_abs().to_string().len()) {
+                out.push(ManyDigits(b));
+            }
+        }
+        Value::Decimal(d) => {
+            if d.is_zero() {
+                out.push(ZeroNumeric);
+            }
+            if d.is_negative() {
+                out.push(NegativeNumeric);
+            }
+            if let Some(b) = digit_bucket(d.total_digits()) {
+                out.push(ManyDigits(b));
+            }
+        }
+        Value::Float(f) => {
+            if *f == 0.0 {
+                out.push(ZeroNumeric);
+            }
+            if *f < 0.0 {
+                out.push(NegativeNumeric);
+            }
+            if !f.is_finite() {
+                out.push(NonFiniteFloat);
+            }
+        }
+        Value::Text(s) => {
+            if s.is_empty() {
+                out.push(EmptyString);
+            }
+            if let Some(b) = len_bucket(s.len()) {
+                out.push(LongString(b));
+            }
+            if let Some(b) = repeat_bucket(repeated_prefix_run(s)) {
+                out.push(RepeatedPrefix(b));
+            }
+            if looks_structured(s) {
+                out.push(StructuredText);
+            }
+        }
+        Value::Binary(b) => {
+            if b.is_empty() {
+                out.push(EmptyString);
+            }
+            if let Some(bucket) = len_bucket(b.len()) {
+                out.push(LongString(bucket));
+            }
+        }
+        Value::Json(j) => {
+            if let Some(b) = depth_bucket(j.depth()) {
+                out.push(DeepNesting(b));
+            }
+            if j.length() == 0 {
+                out.push(EmptyContainer);
+            }
+        }
+        Value::Xml(x) => {
+            let depth = x.roots.iter().map(|n| n.depth()).max().unwrap_or(0);
+            if let Some(b) = depth_bucket(depth) {
+                out.push(DeepNesting(b));
+            }
+            if x.roots.is_empty() {
+                out.push(EmptyContainer);
+            }
+        }
+        Value::Array(items) | Value::Row(items) => {
+            if items.is_empty() {
+                out.push(EmptyContainer);
+            }
+            if let Some(b) = depth_bucket(container_depth(value)) {
+                out.push(DeepNesting(b));
+            }
+        }
+        Value::Map(entries)
+            if entries.is_empty() => {
+                out.push(EmptyContainer);
+            }
+        _ => {}
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn container_depth(v: &Value) -> usize {
+    match v {
+        Value::Array(items) | Value::Row(items) => {
+            1 + items.iter().map(container_depth).max().unwrap_or(0)
+        }
+        Value::Map(entries) => {
+            1 + entries.iter().map(|(_, v)| container_depth(v)).max().unwrap_or(0)
+        }
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn null_and_star() {
+        assert_eq!(classify(&Value::Null), vec![BoundaryClass::NullValue]);
+        assert_eq!(classify(&Value::Star), vec![BoundaryClass::StarValue]);
+    }
+
+    #[test]
+    fn plain_values_have_no_classes() {
+        assert!(classify(&Value::Integer(42)).is_empty());
+        assert!(classify(&Value::Text("hello".into())).is_empty());
+        assert!(classify(&Value::Float(1.5)).is_empty());
+    }
+
+    #[test]
+    fn numeric_boundaries() {
+        assert!(classify(&Value::Integer(0)).contains(&BoundaryClass::ZeroNumeric));
+        assert!(classify(&Value::Integer(i64::MAX)).contains(&BoundaryClass::ExtremeInt));
+        assert!(classify(&Value::Integer(-5)).contains(&BoundaryClass::NegativeNumeric));
+        let d: crate::decimal::Decimal = "9".repeat(50).parse().unwrap();
+        assert!(classify(&Value::Decimal(d)).contains(&BoundaryClass::ManyDigits(40)));
+        assert!(classify(&Value::Float(f64::NAN)).contains(&BoundaryClass::NonFiniteFloat));
+    }
+
+    #[test]
+    fn string_boundaries() {
+        assert_eq!(classify(&Value::Text(String::new())), vec![BoundaryClass::EmptyString]);
+        assert!(classify(&Value::Text("x".repeat(5000)))
+            .contains(&BoundaryClass::LongString(4096)));
+        let rep = "[1,".repeat(100);
+        assert!(classify(&Value::Text(rep)).contains(&BoundaryClass::RepeatedPrefix(64)));
+    }
+
+    #[test]
+    fn structured_text_detection() {
+        assert!(looks_structured("{\"a\":1}"));
+        assert!(looks_structured("<a><b/></a>"));
+        assert!(looks_structured("POINT(1 2)"));
+        assert!(looks_structured("2024-01-01"));
+        assert!(looks_structured("255.255.255.255"));
+        assert!(!looks_structured("hello world"));
+    }
+
+    #[test]
+    fn repeated_prefix_runs() {
+        assert_eq!(repeated_prefix_run(&"[".repeat(100)), 100);
+        assert_eq!(repeated_prefix_run(&"[1,".repeat(100)), 100);
+        assert_eq!(repeated_prefix_run("abcdef"), 1);
+        assert_eq!(repeated_prefix_run(""), 1);
+    }
+
+    #[test]
+    fn deep_json_classified() {
+        let deep = "[".repeat(40) + "1" + &"]".repeat(40);
+        let j = json::parse(&deep).unwrap();
+        assert!(classify(&Value::Json(j)).contains(&BoundaryClass::DeepNesting(32)));
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert!(classify(&Value::Array(vec![])).contains(&BoundaryClass::EmptyContainer));
+        assert!(classify(&Value::Map(vec![])).contains(&BoundaryClass::EmptyContainer));
+    }
+}

@@ -1,0 +1,117 @@
+//! SQL function categories.
+//!
+//! The paper classifies functions "following the official documentations of
+//! MySQL and PostgreSQL" (§4.2, Figure 1). This is that taxonomy, shared by
+//! the engine's function registry, the dialect fault corpus (Table 4 rows)
+//! and the bug-study dataset.
+
+use std::fmt;
+
+/// A built-in SQL function category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum FunctionCategory {
+    /// String operations (search, replacement, regex, hashing, ...).
+    String,
+    /// Aggregates (`COUNT`, `AVG`, `GROUP_CONCAT`, ...).
+    Aggregate,
+    /// Arithmetic and transcendental math.
+    Math,
+    /// Date and time.
+    Date,
+    /// JSON documents.
+    Json,
+    /// XML documents.
+    Xml,
+    /// Spatial / geometry.
+    Spatial,
+    /// Conditional (`IF`, `COALESCE`, `INTERVAL`, ...).
+    Condition,
+    /// Explicit conversion helpers (`TO_CHAR`, `toDecimalString`, ...).
+    Casting,
+    /// System / session / miscellaneous.
+    System,
+    /// Sequence manipulation (`NEXTVAL`, ...).
+    Sequence,
+    /// Array operations (DuckDB / ClickHouse style).
+    Array,
+    /// Map operations.
+    Map,
+    /// Comparison helpers (`STRCMP`, ...), kept for Figure 1 parity.
+    Comparison,
+    /// Control / flow helpers appearing in bug PoCs (`BENCHMARK`, ...).
+    Control,
+}
+
+impl FunctionCategory {
+    /// Every category, in the order Figure 1 reports them.
+    pub const ALL: [FunctionCategory; 15] = [
+        FunctionCategory::String,
+        FunctionCategory::Aggregate,
+        FunctionCategory::Math,
+        FunctionCategory::Date,
+        FunctionCategory::Json,
+        FunctionCategory::Xml,
+        FunctionCategory::Spatial,
+        FunctionCategory::Condition,
+        FunctionCategory::Casting,
+        FunctionCategory::System,
+        FunctionCategory::Sequence,
+        FunctionCategory::Array,
+        FunctionCategory::Map,
+        FunctionCategory::Comparison,
+        FunctionCategory::Control,
+    ];
+
+    /// A stable lowercase label (used in reports and Table 4 rows).
+    pub fn label(&self) -> &'static str {
+        match self {
+            FunctionCategory::String => "string",
+            FunctionCategory::Aggregate => "aggregate",
+            FunctionCategory::Math => "math",
+            FunctionCategory::Date => "date",
+            FunctionCategory::Json => "json",
+            FunctionCategory::Xml => "xml",
+            FunctionCategory::Spatial => "spatial",
+            FunctionCategory::Condition => "condition",
+            FunctionCategory::Casting => "casting",
+            FunctionCategory::System => "system",
+            FunctionCategory::Sequence => "sequence",
+            FunctionCategory::Array => "array",
+            FunctionCategory::Map => "map",
+            FunctionCategory::Comparison => "comparison",
+            FunctionCategory::Control => "control",
+        }
+    }
+
+    /// Parses a label produced by [`FunctionCategory::label`].
+    pub fn from_label(s: &str) -> Option<FunctionCategory> {
+        FunctionCategory::ALL.into_iter().find(|c| c.label() == s)
+    }
+}
+
+impl fmt::Display for FunctionCategory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_roundtrip() {
+        for c in FunctionCategory::ALL {
+            assert_eq!(FunctionCategory::from_label(c.label()), Some(c));
+        }
+        assert_eq!(FunctionCategory::from_label("nope"), None);
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = FunctionCategory::ALL.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), FunctionCategory::ALL.len());
+    }
+}

@@ -1,0 +1,596 @@
+//! WKT geometries and a compact binary encoding.
+//!
+//! Spatial functions account for several of the paper's discovered bugs
+//! (e.g. the MariaDB SEGV of Listing 11, where `INET6_ATON`'s binary return
+//! value flows into `BOUNDARY` and `ST_ASTEXT`). This module provides the
+//! geometry model those functions operate on: WKT parse/format, a WKB-like
+//! binary codec (so type-confused binary blobs are representable), and the
+//! simple geometric operations the function suite needs.
+
+use std::fmt;
+
+/// Errors from WKT/WKB handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeometryError {
+    /// Malformed WKT text.
+    Syntax(String),
+    /// Malformed or truncated binary geometry.
+    BadBinary(String),
+    /// Operation not defined for this geometry kind.
+    Unsupported(String),
+}
+
+impl fmt::Display for GeometryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeometryError::Syntax(s) => write!(f, "invalid WKT: {s}"),
+            GeometryError::BadBinary(s) => write!(f, "invalid geometry binary: {s}"),
+            GeometryError::Unsupported(s) => write!(f, "unsupported geometry operation: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for GeometryError {}
+
+/// A 2-D point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// X coordinate.
+    pub x: f64,
+    /// Y coordinate.
+    pub y: f64,
+}
+
+/// A geometry value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Geometry {
+    /// A single point.
+    Point(Point),
+    /// An open polyline.
+    LineString(Vec<Point>),
+    /// A polygon given as rings; the first ring is the shell.
+    Polygon(Vec<Vec<Point>>),
+    /// A heterogeneous collection.
+    Collection(Vec<Geometry>),
+}
+
+impl Geometry {
+    /// The WKT tag for this geometry.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Geometry::Point(_) => "POINT",
+            Geometry::LineString(_) => "LINESTRING",
+            Geometry::Polygon(_) => "POLYGON",
+            Geometry::Collection(_) => "GEOMETRYCOLLECTION",
+        }
+    }
+
+    /// Topological dimension: 0 for points, 1 for lines, 2 for polygons.
+    pub fn dimension(&self) -> u8 {
+        match self {
+            Geometry::Point(_) => 0,
+            Geometry::LineString(_) => 1,
+            Geometry::Polygon(_) => 2,
+            Geometry::Collection(items) => {
+                items.iter().map(Geometry::dimension).max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// Total number of points.
+    pub fn num_points(&self) -> usize {
+        match self {
+            Geometry::Point(_) => 1,
+            Geometry::LineString(ps) => ps.len(),
+            Geometry::Polygon(rings) => rings.iter().map(Vec::len).sum(),
+            Geometry::Collection(items) => items.iter().map(Geometry::num_points).sum(),
+        }
+    }
+
+    /// Length of a linestring / perimeter of a polygon.
+    pub fn length(&self) -> f64 {
+        fn path_len(ps: &[Point]) -> f64 {
+            ps.windows(2).map(|w| ((w[1].x - w[0].x).powi(2) + (w[1].y - w[0].y).powi(2)).sqrt()).sum()
+        }
+        match self {
+            Geometry::Point(_) => 0.0,
+            Geometry::LineString(ps) => path_len(ps),
+            Geometry::Polygon(rings) => rings.iter().map(|r| path_len(r)).sum(),
+            Geometry::Collection(items) => items.iter().map(Geometry::length).sum(),
+        }
+    }
+
+    /// Signed-area-based polygon area (shoelace formula, shell only).
+    pub fn area(&self) -> f64 {
+        match self {
+            Geometry::Polygon(rings) => {
+                let Some(shell) = rings.first() else { return 0.0 };
+                let mut s = 0.0;
+                for w in shell.windows(2) {
+                    s += w[0].x * w[1].y - w[1].x * w[0].y;
+                }
+                (s / 2.0).abs()
+            }
+            Geometry::Collection(items) => items.iter().map(Geometry::area).sum(),
+            _ => 0.0,
+        }
+    }
+
+    /// The combinatorial boundary: endpoints of a line, rings of a polygon.
+    ///
+    /// Points have an empty boundary; MariaDB represents that as an empty
+    /// collection (and mishandling *binary that is not a geometry at all*
+    /// here is the bug of Listing 11).
+    pub fn boundary(&self) -> Result<Geometry, GeometryError> {
+        match self {
+            Geometry::Point(_) => Ok(Geometry::Collection(Vec::new())),
+            Geometry::LineString(ps) => {
+                if ps.len() < 2 {
+                    return Ok(Geometry::Collection(Vec::new()));
+                }
+                Ok(Geometry::Collection(vec![
+                    Geometry::Point(ps[0]),
+                    Geometry::Point(*ps.last().expect("len >= 2")),
+                ]))
+            }
+            Geometry::Polygon(rings) => Ok(Geometry::Collection(
+                rings.iter().map(|r| Geometry::LineString(r.clone())).collect(),
+            )),
+            Geometry::Collection(_) => {
+                Err(GeometryError::Unsupported("boundary of collection".into()))
+            }
+        }
+    }
+
+    /// Axis-aligned bounding box as a polygon (`ST_ENVELOPE`).
+    pub fn envelope(&self) -> Result<Geometry, GeometryError> {
+        let mut pts = Vec::new();
+        collect_points(self, &mut pts);
+        if pts.is_empty() {
+            return Err(GeometryError::Unsupported("envelope of empty geometry".into()));
+        }
+        let minx = pts.iter().map(|p| p.x).fold(f64::INFINITY, f64::min);
+        let maxx = pts.iter().map(|p| p.x).fold(f64::NEG_INFINITY, f64::max);
+        let miny = pts.iter().map(|p| p.y).fold(f64::INFINITY, f64::min);
+        let maxy = pts.iter().map(|p| p.y).fold(f64::NEG_INFINITY, f64::max);
+        Ok(Geometry::Polygon(vec![vec![
+            Point { x: minx, y: miny },
+            Point { x: maxx, y: miny },
+            Point { x: maxx, y: maxy },
+            Point { x: minx, y: maxy },
+            Point { x: minx, y: miny },
+        ]]))
+    }
+
+    /// Parses WKT text such as `POINT(1 2)` or `POLYGON((0 0,1 0,1 1,0 0))`.
+    pub fn parse_wkt(text: &str) -> Result<Geometry, GeometryError> {
+        let mut p = WktParser { s: text.trim(), pos: 0 };
+        let g = p.geometry()?;
+        p.skip_ws();
+        if p.pos != p.s.len() {
+            return Err(GeometryError::Syntax(format!("trailing input in {text:?}")));
+        }
+        Ok(g)
+    }
+
+    /// Encodes to the compact binary form (a WKB-like tagged layout).
+    pub fn to_binary(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Geometry::Point(p) => {
+                out.push(1);
+                out.extend_from_slice(&p.x.to_le_bytes());
+                out.extend_from_slice(&p.y.to_le_bytes());
+            }
+            Geometry::LineString(ps) => {
+                out.push(2);
+                out.extend_from_slice(&(ps.len() as u32).to_le_bytes());
+                for p in ps {
+                    out.extend_from_slice(&p.x.to_le_bytes());
+                    out.extend_from_slice(&p.y.to_le_bytes());
+                }
+            }
+            Geometry::Polygon(rings) => {
+                out.push(3);
+                out.extend_from_slice(&(rings.len() as u32).to_le_bytes());
+                for r in rings {
+                    out.extend_from_slice(&(r.len() as u32).to_le_bytes());
+                    for p in r {
+                        out.extend_from_slice(&p.x.to_le_bytes());
+                        out.extend_from_slice(&p.y.to_le_bytes());
+                    }
+                }
+            }
+            Geometry::Collection(items) => {
+                out.push(7);
+                out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+                for g in items {
+                    g.encode(out);
+                }
+            }
+        }
+    }
+
+    /// Decodes from the compact binary form.
+    ///
+    /// Arbitrary binary (like an INET address blob) is usually *not* a valid
+    /// geometry; a correct implementation rejects it, which is exactly the
+    /// validation the MariaDB bug of Listing 11 was missing.
+    pub fn from_binary(bytes: &[u8]) -> Result<Geometry, GeometryError> {
+        let mut cur = Cursor { bytes, pos: 0 };
+        let g = cur.geometry(0)?;
+        if cur.pos != bytes.len() {
+            return Err(GeometryError::BadBinary("trailing bytes".into()));
+        }
+        Ok(g)
+    }
+}
+
+fn collect_points(g: &Geometry, out: &mut Vec<Point>) {
+    match g {
+        Geometry::Point(p) => out.push(*p),
+        Geometry::LineString(ps) => out.extend_from_slice(ps),
+        Geometry::Polygon(rings) => {
+            for r in rings {
+                out.extend_from_slice(r);
+            }
+        }
+        Geometry::Collection(items) => {
+            for i in items {
+                collect_points(i, out);
+            }
+        }
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn u8(&mut self) -> Result<u8, GeometryError> {
+        let b = *self
+            .bytes
+            .get(self.pos)
+            .ok_or_else(|| GeometryError::BadBinary("truncated".into()))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u32(&mut self) -> Result<u32, GeometryError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(GeometryError::BadBinary("truncated length".into()));
+        }
+        let v = u32::from_le_bytes(self.bytes[self.pos..self.pos + 4].try_into().expect("4 bytes"));
+        self.pos += 4;
+        if v > 1_000_000 {
+            return Err(GeometryError::BadBinary(format!("implausible element count {v}")));
+        }
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, GeometryError> {
+        if self.pos + 8 > self.bytes.len() {
+            return Err(GeometryError::BadBinary("truncated coordinate".into()));
+        }
+        let v = f64::from_le_bytes(self.bytes[self.pos..self.pos + 8].try_into().expect("8 bytes"));
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn point(&mut self) -> Result<Point, GeometryError> {
+        Ok(Point { x: self.f64()?, y: self.f64()? })
+    }
+
+    fn geometry(&mut self, depth: usize) -> Result<Geometry, GeometryError> {
+        if depth > 16 {
+            return Err(GeometryError::BadBinary("collection too deep".into()));
+        }
+        match self.u8()? {
+            1 => Ok(Geometry::Point(self.point()?)),
+            2 => {
+                let n = self.u32()?;
+                let mut ps = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    ps.push(self.point()?);
+                }
+                Ok(Geometry::LineString(ps))
+            }
+            3 => {
+                let nrings = self.u32()?;
+                let mut rings = Vec::with_capacity(nrings as usize);
+                for _ in 0..nrings {
+                    let n = self.u32()?;
+                    let mut r = Vec::with_capacity(n as usize);
+                    for _ in 0..n {
+                        r.push(self.point()?);
+                    }
+                    rings.push(r);
+                }
+                Ok(Geometry::Polygon(rings))
+            }
+            7 => {
+                let n = self.u32()?;
+                let mut items = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    items.push(self.geometry(depth + 1)?);
+                }
+                Ok(Geometry::Collection(items))
+            }
+            tag => Err(GeometryError::BadBinary(format!("unknown geometry tag {tag}"))),
+        }
+    }
+}
+
+struct WktParser<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> WktParser<'a> {
+    fn skip_ws(&mut self) {
+        while self.s[self.pos..].starts_with(' ') {
+            self.pos += 1;
+        }
+    }
+
+    fn keyword(&mut self) -> String {
+        self.skip_ws();
+        let start = self.pos;
+        while self.s[self.pos..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic())
+        {
+            self.pos += 1;
+        }
+        self.s[start..self.pos].to_ascii_uppercase()
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), GeometryError> {
+        self.skip_ws();
+        if self.s[self.pos..].starts_with(c) {
+            self.pos += c.len_utf8();
+            Ok(())
+        } else {
+            Err(GeometryError::Syntax(format!("expected {c:?} at {}", self.pos)))
+        }
+    }
+
+    fn number(&mut self) -> Result<f64, GeometryError> {
+        self.skip_ws();
+        let start = self.pos;
+        let bytes = self.s.as_bytes();
+        if matches!(bytes.get(self.pos), Some(b'-' | b'+')) {
+            self.pos += 1;
+        }
+        while self
+            .s
+            .as_bytes()
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_digit() || *b == b'.' || *b == b'e' || *b == b'E')
+        {
+            self.pos += 1;
+        }
+        self.s[start..self.pos]
+            .parse()
+            .map_err(|_| GeometryError::Syntax(format!("bad number at {start}")))
+    }
+
+    fn point_pair(&mut self) -> Result<Point, GeometryError> {
+        let x = self.number()?;
+        let y = self.number()?;
+        Ok(Point { x, y })
+    }
+
+    fn point_list(&mut self) -> Result<Vec<Point>, GeometryError> {
+        self.expect('(')?;
+        let mut ps = vec![self.point_pair()?];
+        loop {
+            self.skip_ws();
+            if self.s[self.pos..].starts_with(',') {
+                self.pos += 1;
+                ps.push(self.point_pair()?);
+            } else {
+                break;
+            }
+        }
+        self.expect(')')?;
+        Ok(ps)
+    }
+
+    fn geometry(&mut self) -> Result<Geometry, GeometryError> {
+        match self.keyword().as_str() {
+            "POINT" => {
+                self.expect('(')?;
+                let p = self.point_pair()?;
+                self.expect(')')?;
+                Ok(Geometry::Point(p))
+            }
+            "LINESTRING" => Ok(Geometry::LineString(self.point_list()?)),
+            "POLYGON" => {
+                self.expect('(')?;
+                let mut rings = vec![self.point_list()?];
+                loop {
+                    self.skip_ws();
+                    if self.s[self.pos..].starts_with(',') {
+                        self.pos += 1;
+                        rings.push(self.point_list()?);
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(')')?;
+                Ok(Geometry::Polygon(rings))
+            }
+            "GEOMETRYCOLLECTION" => {
+                self.skip_ws();
+                if self.s[self.pos..].to_ascii_uppercase().starts_with("EMPTY") {
+                    self.pos += 5;
+                    return Ok(Geometry::Collection(Vec::new()));
+                }
+                self.expect('(')?;
+                let mut items = vec![self.geometry()?];
+                loop {
+                    self.skip_ws();
+                    if self.s[self.pos..].starts_with(',') {
+                        self.pos += 1;
+                        items.push(self.geometry()?);
+                    } else {
+                        break;
+                    }
+                }
+                self.expect(')')?;
+                Ok(Geometry::Collection(items))
+            }
+            kw => Err(GeometryError::Syntax(format!("unknown geometry kind {kw:?}"))),
+        }
+    }
+}
+
+impl fmt::Display for Geometry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn w(f: &mut fmt::Formatter<'_>, v: f64) -> fmt::Result {
+            if v == v.trunc() && v.abs() < 1e15 {
+                write!(f, "{}", v as i64)
+            } else {
+                write!(f, "{v}")
+            }
+        }
+        fn pair(f: &mut fmt::Formatter<'_>, p: &Point) -> fmt::Result {
+            w(f, p.x)?;
+            write!(f, " ")?;
+            w(f, p.y)
+        }
+        fn list(f: &mut fmt::Formatter<'_>, ps: &[Point]) -> fmt::Result {
+            write!(f, "(")?;
+            for (i, p) in ps.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ",")?;
+                }
+                pair(f, p)?;
+            }
+            write!(f, ")")
+        }
+        match self {
+            Geometry::Point(p) => {
+                write!(f, "POINT(")?;
+                pair(f, p)?;
+                write!(f, ")")
+            }
+            Geometry::LineString(ps) => {
+                write!(f, "LINESTRING")?;
+                list(f, ps)
+            }
+            Geometry::Polygon(rings) => {
+                write!(f, "POLYGON(")?;
+                for (i, r) in rings.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    list(f, r)?;
+                }
+                write!(f, ")")
+            }
+            Geometry::Collection(items) => {
+                if items.is_empty() {
+                    return write!(f, "GEOMETRYCOLLECTION EMPTY");
+                }
+                write!(f, "GEOMETRYCOLLECTION(")?;
+                for (i, g) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ",")?;
+                    }
+                    write!(f, "{g}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wkt_roundtrip() {
+        for s in [
+            "POINT(1 2)",
+            "LINESTRING(0 0,1 1,2 0)",
+            "POLYGON((0 0,4 0,4 4,0 4,0 0))",
+            "POLYGON((0 0,4 0,4 4,0 0),(1 1,2 1,2 2,1 1))",
+            "GEOMETRYCOLLECTION(POINT(1 2),LINESTRING(0 0,1 1))",
+            "GEOMETRYCOLLECTION EMPTY",
+        ] {
+            let g = Geometry::parse_wkt(s).unwrap();
+            assert_eq!(g.to_string(), s, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn wkt_rejects_malformed() {
+        for s in ["POINT(1)", "POINT 1 2", "CIRCLE(0 0, 5)", "LINESTRING()", "POINT(a b)", ""] {
+            assert!(Geometry::parse_wkt(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        for s in [
+            "POINT(1.5 -2.5)",
+            "LINESTRING(0 0,1 1)",
+            "POLYGON((0 0,1 0,1 1,0 0))",
+            "GEOMETRYCOLLECTION(POINT(0 0))",
+        ] {
+            let g = Geometry::parse_wkt(s).unwrap();
+            let bin = g.to_binary();
+            assert_eq!(Geometry::from_binary(&bin).unwrap(), g);
+        }
+    }
+
+    #[test]
+    fn binary_rejects_non_geometry() {
+        // An IPv6 address blob (16 bytes of 0xff) is not a valid geometry —
+        // this is the check MariaDB was missing in Listing 11.
+        let inet_blob = vec![0xffu8; 16];
+        assert!(Geometry::from_binary(&inet_blob).is_err());
+        assert!(Geometry::from_binary(&[]).is_err());
+        assert!(Geometry::from_binary(&[2, 0xff, 0xff, 0xff, 0x7f]).is_err());
+    }
+
+    #[test]
+    fn measures() {
+        let line = Geometry::parse_wkt("LINESTRING(0 0,3 4)").unwrap();
+        assert!((line.length() - 5.0).abs() < 1e-9);
+        let poly = Geometry::parse_wkt("POLYGON((0 0,4 0,4 4,0 4,0 0))").unwrap();
+        assert!((poly.area() - 16.0).abs() < 1e-9);
+        assert_eq!(poly.dimension(), 2);
+        assert_eq!(poly.num_points(), 5);
+    }
+
+    #[test]
+    fn boundary_cases() {
+        let p = Geometry::parse_wkt("POINT(1 1)").unwrap();
+        assert_eq!(p.boundary().unwrap().to_string(), "GEOMETRYCOLLECTION EMPTY");
+        let l = Geometry::parse_wkt("LINESTRING(0 0,5 5)").unwrap();
+        assert_eq!(
+            l.boundary().unwrap().to_string(),
+            "GEOMETRYCOLLECTION(POINT(0 0),POINT(5 5))"
+        );
+        let c = Geometry::Collection(vec![p]);
+        assert!(c.boundary().is_err());
+    }
+
+    #[test]
+    fn envelope() {
+        let l = Geometry::parse_wkt("LINESTRING(0 0,2 3)").unwrap();
+        assert_eq!(l.envelope().unwrap().to_string(), "POLYGON((0 0,2 0,2 3,0 3,0 0))");
+    }
+}

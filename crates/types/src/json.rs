@@ -1,0 +1,582 @@
+//! A JSON value model with a depth-limited recursive-descent parser, a
+//! serializer, and a JSON-path subset.
+//!
+//! PostgreSQL's CVE-2015-5289 — a stack overflow from `REPEAT('[', 1000)::json`
+//! because `parse_array` recursed once per `[` — is the canonical nested-
+//! function bug in the paper. This parser reproduces that code path: it is
+//! recursive, and the recursion guard is an explicit, configurable limit so a
+//! dialect can model the unguarded (buggy) behaviour as a detectable fault.
+
+use std::fmt;
+use std::fmt::Write as _;
+
+/// Errors from JSON parsing and path evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JsonError {
+    /// Malformed JSON text.
+    Syntax {
+        /// What went wrong.
+        message: String,
+        /// Byte offset into the input.
+        offset: usize,
+    },
+    /// Nesting exceeded the configured recursion limit.
+    TooDeep {
+        /// The limit that was exceeded.
+        limit: usize,
+    },
+    /// A JSON path string was malformed.
+    BadPath(String),
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JsonError::Syntax { message, offset } => {
+                write!(f, "invalid JSON at byte {offset}: {message}")
+            }
+            JsonError::TooDeep { limit } => {
+                write!(f, "JSON nesting exceeds depth limit {limit}")
+            }
+            JsonError::BadPath(p) => write!(f, "invalid JSON path: {p}"),
+        }
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+/// A parsed JSON value.
+///
+/// Numbers are stored as their source text to preserve arbitrary digit
+/// counts, which matters for boundary-value analysis (e.g. MDEV-8407's
+/// 48-digit decimal flowing through `COLUMN_JSON`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its literal text.
+    Number(String),
+    /// A string (already unescaped).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object; key order is preserved.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The JSON type name, as `JSON_TYPE` would report it.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            JsonValue::Null => "NULL",
+            JsonValue::Bool(_) => "BOOLEAN",
+            JsonValue::Number(n) => {
+                if n.contains('.') || n.contains('e') || n.contains('E') {
+                    "DOUBLE"
+                } else {
+                    "INTEGER"
+                }
+            }
+            JsonValue::String(_) => "STRING",
+            JsonValue::Array(_) => "ARRAY",
+            JsonValue::Object(_) => "OBJECT",
+        }
+    }
+
+    /// Maximum nesting depth of this value (scalar = 1).
+    pub fn depth(&self) -> usize {
+        match self {
+            JsonValue::Array(items) => 1 + items.iter().map(JsonValue::depth).max().unwrap_or(0),
+            JsonValue::Object(fields) => {
+                1 + fields.iter().map(|(_, v)| v.depth()).max().unwrap_or(0)
+            }
+            _ => 1,
+        }
+    }
+
+    /// Number of elements for arrays/objects, 1 for scalars (MySQL
+    /// `JSON_LENGTH` semantics).
+    pub fn length(&self) -> usize {
+        match self {
+            JsonValue::Array(items) => items.len(),
+            JsonValue::Object(fields) => fields.len(),
+            _ => 1,
+        }
+    }
+
+    /// Looks up an object key.
+    pub fn get_key(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(fields) => {
+                fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+            }
+            _ => None,
+        }
+    }
+
+    /// Looks up an array index.
+    pub fn get_index(&self, idx: usize) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Array(items) => items.get(idx),
+            _ => None,
+        }
+    }
+
+    /// Evaluates a parsed path against this value.
+    pub fn eval_path(&self, path: &JsonPath) -> Option<&JsonValue> {
+        let mut cur = self;
+        for leg in &path.legs {
+            cur = match leg {
+                PathLeg::Key(k) => cur.get_key(k)?,
+                PathLeg::Index(i) => cur.get_index(*i)?,
+            };
+        }
+        Some(cur)
+    }
+
+    /// Serialises to compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        self.write_json(&mut out);
+        out
+    }
+
+    fn write_json(&self, out: &mut String) {
+        match self {
+            JsonValue::Null => out.push_str("null"),
+            JsonValue::Bool(true) => out.push_str("true"),
+            JsonValue::Bool(false) => out.push_str("false"),
+            JsonValue::Number(n) => out.push_str(n),
+            JsonValue::String(s) => write_escaped(out, s),
+            JsonValue::Array(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_json(out);
+                }
+                out.push(']');
+            }
+            JsonValue::Object(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_json(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Default recursion limit, matching PostgreSQL's post-CVE-2015-5289 guard.
+pub const DEFAULT_MAX_DEPTH: usize = 64;
+
+/// Parses JSON text with the default depth limit.
+pub fn parse(text: &str) -> Result<JsonValue, JsonError> {
+    parse_with_depth(text, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses JSON text, failing with [`JsonError::TooDeep`] past `max_depth`.
+pub fn parse_with_depth(text: &str, max_depth: usize) -> Result<JsonValue, JsonError> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0, max_depth };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters"));
+    }
+    Ok(v)
+}
+
+/// Quick validity check (as `JSON_VALID` would perform).
+pub fn is_valid(text: &str) -> bool {
+    parse(text).is_ok()
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    max_depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, message: &str) -> JsonError {
+        JsonError::Syntax { message: message.to_string(), offset: self.pos }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.peek() {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        if depth >= self.max_depth {
+            return Err(JsonError::TooDeep { limit: self.max_depth });
+        }
+        self.skip_ws();
+        match self.peek() {
+            None => Err(self.err("unexpected end of input")),
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.keyword("false", JsonValue::Bool(false)),
+            Some(b'n') => self.keyword("null", JsonValue::Null),
+            Some(b'-') | Some(b'0'..=b'9') => self.number(),
+            Some(_) => Err(self.err("unexpected character")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str, value: JsonValue) -> Result<JsonValue, JsonError> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(self.err("invalid keyword"))
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(self.err("invalid number"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(self.err("invalid number fraction"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(self.err("invalid number exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid utf-8 in number"))?;
+        Ok(JsonValue::Number(text.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, JsonError> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            if self.pos + 4 >= self.bytes.len() {
+                                return Err(self.err("truncated \\u escape"));
+                            }
+                            let hex = &self.bytes[self.pos + 1..self.pos + 5];
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            let cp = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("invalid \\u escape"))?;
+                            out.push(char::from_u32(cp).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("invalid escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().ok_or_else(|| self.err("unterminated"))?;
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            let v = self.value(depth + 1)?;
+            items.push(v);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<JsonValue, JsonError> {
+        self.pos += 1; // consume '{'
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(self.err("expected object key"));
+            }
+            let key = self.string()?;
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(self.err("expected ':'"));
+            }
+            self.pos += 1;
+            let v = self.value(depth + 1)?;
+            fields.push((key, v));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// One leg of a JSON path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathLeg {
+    /// `.key` member access.
+    Key(String),
+    /// `[n]` array element access.
+    Index(usize),
+}
+
+/// A parsed JSON path in the MySQL `$`-rooted dialect, e.g. `$.a[2].b`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonPath {
+    /// Access legs, applied left to right.
+    pub legs: Vec<PathLeg>,
+}
+
+impl JsonPath {
+    /// Parses a `$`-rooted path such as `$[2][1]` or `$.key.sub[0]`.
+    pub fn parse(text: &str) -> Result<JsonPath, JsonError> {
+        let bytes = text.trim().as_bytes();
+        if bytes.first() != Some(&b'$') {
+            return Err(JsonError::BadPath(text.to_string()));
+        }
+        let mut legs = Vec::new();
+        let mut i = 1;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'.' => {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b'.' && bytes[i] != b'[' {
+                        i += 1;
+                    }
+                    if start == i {
+                        return Err(JsonError::BadPath(text.to_string()));
+                    }
+                    let key = std::str::from_utf8(&bytes[start..i])
+                        .map_err(|_| JsonError::BadPath(text.to_string()))?;
+                    legs.push(PathLeg::Key(key.to_string()));
+                }
+                b'[' => {
+                    i += 1;
+                    let start = i;
+                    while i < bytes.len() && bytes[i] != b']' {
+                        i += 1;
+                    }
+                    if i == bytes.len() {
+                        return Err(JsonError::BadPath(text.to_string()));
+                    }
+                    let idx = std::str::from_utf8(&bytes[start..i])
+                        .ok()
+                        .and_then(|s| s.trim().parse::<usize>().ok())
+                        .ok_or_else(|| JsonError::BadPath(text.to_string()))?;
+                    legs.push(PathLeg::Index(idx));
+                    i += 1; // consume ']'
+                }
+                _ => return Err(JsonError::BadPath(text.to_string())),
+            }
+        }
+        Ok(JsonPath { legs })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse("true").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse(" false ").unwrap(), JsonValue::Bool(false));
+        assert_eq!(parse("42").unwrap(), JsonValue::Number("42".into()));
+        assert_eq!(parse("-1.5e3").unwrap(), JsonValue::Number("-1.5e3".into()));
+        assert_eq!(parse("\"hi\"").unwrap(), JsonValue::String("hi".into()));
+    }
+
+    #[test]
+    fn parse_structures() {
+        let v = parse(r#"{"key": [1, 2, {"x": null}]}"#).unwrap();
+        assert_eq!(v.type_name(), "OBJECT");
+        // MySQL JSON_DEPTH semantics: scalars are depth 1, so
+        // object -> array -> object -> null is depth 4.
+        assert_eq!(v.depth(), 4);
+        assert_eq!(v.get_key("key").unwrap().length(), 3);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        for s in ["", "{", "[1,", "{\"a\"}", "tru", "1.2.3", "\"\\q\"", "[1] x", "nul"] {
+            assert!(parse(s).is_err(), "{s:?} should fail");
+        }
+    }
+
+    #[test]
+    fn depth_limit_models_cve_2015_5289() {
+        // REPEAT('[', 1000)::json -- the guarded parser must reject, not crash.
+        let deep = "[".repeat(1000);
+        match parse(&deep) {
+            Err(JsonError::TooDeep { limit }) => assert_eq!(limit, DEFAULT_MAX_DEPTH),
+            other => panic!("expected TooDeep, got {other:?}"),
+        }
+        // A document exactly at the limit parses (if well-formed).
+        let ok = format!("{}1{}", "[".repeat(63), "]".repeat(63));
+        assert!(parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn string_escapes() {
+        let v = parse(r#""a\nb\t\"c\" A""#).unwrap();
+        assert_eq!(v, JsonValue::String("a\nb\t\"c\" A".into()));
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        for s in [
+            r#"{"a":[1,2,3],"b":"x"}"#,
+            r#"[true,false,null]"#,
+            r#""line\nbreak""#,
+            "123456789012345678901234567890123456789012346789",
+        ] {
+            let v = parse(s).unwrap();
+            let out = v.to_json_string();
+            assert_eq!(parse(&out).unwrap(), v, "roundtrip of {s}");
+        }
+    }
+
+    #[test]
+    fn json_path() {
+        let p = JsonPath::parse("$[2][1]").unwrap();
+        assert_eq!(p.legs, vec![PathLeg::Index(2), PathLeg::Index(1)]);
+        let p = JsonPath::parse("$.a.b[0]").unwrap();
+        assert_eq!(
+            p.legs,
+            vec![PathLeg::Key("a".into()), PathLeg::Key("b".into()), PathLeg::Index(0)]
+        );
+        assert!(JsonPath::parse("a.b").is_err());
+        assert!(JsonPath::parse("$[x]").is_err());
+        assert!(JsonPath::parse("$.").is_err());
+    }
+
+    #[test]
+    fn path_evaluation() {
+        let v = parse(r#"{"a":[10,[20,30]]}"#).unwrap();
+        let p = JsonPath::parse("$.a[1][0]").unwrap();
+        assert_eq!(v.eval_path(&p), Some(&JsonValue::Number("20".into())));
+        let missing = JsonPath::parse("$.a[9]").unwrap();
+        assert_eq!(v.eval_path(&missing), None);
+    }
+
+    #[test]
+    fn number_preserves_digits() {
+        let fifty = "9".repeat(50);
+        let v = parse(&fifty).unwrap();
+        assert_eq!(v, JsonValue::Number(fifty.clone()));
+        assert_eq!(v.to_json_string(), fifty);
+    }
+}

@@ -1,0 +1,55 @@
+//! Reproduce the characteristic study (paper §3–§5): Tables 1–2, Figure 1,
+//! Findings 1–4 and the root-cause breakdown, with paper-vs-measured output.
+//!
+//! ```sh
+//! cargo run --example bug_study
+//! ```
+
+use soft_repro::study::{analysis, studied_bugs};
+
+fn main() {
+    let bugs = studied_bugs();
+    println!("dataset: {} bugs ({} carry real PoCs from the paper)\n", bugs.len(), bugs.iter().filter(|b| !b.synthetic).count());
+
+    println!("-- Table 1 --");
+    for (dbms, n) in analysis::table1(&bugs) {
+        println!("  {:<12} {}", dbms.name(), n);
+    }
+
+    let f1 = analysis::finding1(&bugs);
+    println!("\n-- Finding 1 (stages, {} with backtraces) --", f1.with_backtrace);
+    println!("  execution    {} ({:.1}%)", f1.execution, 100.0 * f1.execution as f64 / f1.with_backtrace as f64);
+    println!("  optimization {} ({:.1}%)", f1.optimization, 100.0 * f1.optimization as f64 / f1.with_backtrace as f64);
+    println!("  parsing      {} ({:.1}%)", f1.parsing, 100.0 * f1.parsing as f64 / f1.with_backtrace as f64);
+
+    println!("\n-- Figure 1 (occurrences / unique functions) --");
+    for (cat, occ, uniq) in analysis::figure1(&bugs) {
+        println!("  {:<12} {:>4} / {:<4}", cat.label(), occ, uniq);
+    }
+
+    println!("\n-- Table 2 (function expressions per statement) --");
+    let hist = analysis::table2(&bugs);
+    println!("  1: {}  2: {}  3: {}  4: {}  >=5: {}", hist[0], hist[1], hist[2], hist[3], hist[4]);
+    println!("  Finding 3: {}/318 have at most two", analysis::finding3(&bugs));
+
+    println!("\n-- Finding 4 (prerequisites) --");
+    for (p, n) in analysis::finding4(&bugs) {
+        println!("  {p:?}: {n}");
+    }
+
+    let rc = analysis::root_causes(&bugs);
+    println!("\n-- Root causes (section 5) --");
+    println!("  boundary literals: {} (extreme {}, empty/NULL {}, crafted {})", rc.literal, rc.literal_extreme, rc.literal_empty_null, rc.literal_crafted);
+    println!("  boundary castings: {}", rc.casting);
+    println!("  nested functions:  {}", rc.nested);
+    println!("  other:             {} config, {} table defs, {} syntax", rc.configuration, rc.table_definition, rc.syntax);
+    println!("  => boundary arguments cause {}/318 = {:.1}% (the paper's 87.4% headline)", rc.boundary_total(), 100.0 * rc.boundary_total() as f64 / 318.0);
+
+    println!("\n-- exemplar bugs carrying real PoCs --");
+    for b in bugs.iter().filter(|b| !b.synthetic) {
+        println!("  {} ({}) — {:?}", b.reference, b.dbms.name(), b.root_cause);
+        if let Some(poc) = &b.poc {
+            println!("      {poc}");
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! A tiny interactive shell over the SQL engine substrate — useful for
+//! exploring the function library and for replaying PoCs by hand.
+//!
+//! ```sh
+//! cargo run --example engine_repl              # fault-free reference engine
+//! cargo run --example engine_repl mariadb      # a faulty dialect target
+//! ```
+
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::engine::{Engine, ExecOutcome};
+use std::io::{BufRead, Write};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let mut engine = match arg.as_deref() {
+        None => Engine::with_default_functions(Default::default()),
+        Some(name) => {
+            let id = DialectId::ALL
+                .into_iter()
+                .find(|d| d.key() == name.to_ascii_lowercase())
+                .unwrap_or_else(|| {
+                    eprintln!("unknown dialect {name}; use one of:");
+                    for d in DialectId::ALL {
+                        eprintln!("  {}", d.key());
+                    }
+                    std::process::exit(2);
+                });
+            DialectProfile::build(id).engine()
+        }
+    };
+    println!("soft-engine repl — {}; end statements with Enter, Ctrl-D to quit", engine.config().name);
+    let stdin = std::io::stdin();
+    loop {
+        print!("sql> ");
+        let _ = std::io::stdout().flush();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+        let sql = line.trim();
+        if sql.is_empty() {
+            continue;
+        }
+        match engine.execute(sql) {
+            ExecOutcome::Rows(rs) => {
+                println!("{}", rs.columns.join(" | "));
+                for row in &rs.rows {
+                    let cells: Vec<String> = row.iter().map(|v| v.render()).collect();
+                    println!("{}", cells.join(" | "));
+                }
+                println!("({} rows)", rs.rows.len());
+            }
+            ExecOutcome::Ok(msg) => println!("ok: {msg}"),
+            ExecOutcome::Error(e) => println!("error: {e}"),
+            ExecOutcome::Crash(c) => {
+                println!("*** CRASH: {c}");
+                println!("*** (database restarted)");
+                engine.reset_database();
+            }
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! SQL conformance of the engine substrate through the public facade:
+//! golden outputs for a battery of statements across the function library.
+
+use soft_repro::engine::{Engine, ExecOutcome};
+
+fn engine() -> Engine {
+    Engine::with_default_functions(Default::default())
+}
+
+/// Executes `sql` and returns the rendered scalar result.
+fn scalar(e: &mut Engine, sql: &str) -> String {
+    match e.execute(sql) {
+        ExecOutcome::Rows(rs) => rs
+            .scalar()
+            .unwrap_or_else(|| panic!("{sql}: not scalar: {rs:?}"))
+            .render(),
+        other => panic!("{sql}: unexpected outcome {other:?}"),
+    }
+}
+
+#[test]
+fn string_function_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT LENGTH('hello')", "5"),
+        ("SELECT CHAR_LENGTH('héllo')", "5"),
+        ("SELECT UPPER('mixed Case')", "MIXED CASE"),
+        ("SELECT LOWER('MIXED Case')", "mixed case"),
+        ("SELECT INITCAP('hello world')", "Hello World"),
+        ("SELECT CONCAT('a', 'b', 'c')", "abc"),
+        ("SELECT CONCAT_WS('-', 'a', NULL, 'b')", "a-b"),
+        ("SELECT SUBSTR('abcdef', 2, 3)", "bcd"),
+        ("SELECT SUBSTR('abcdef', -2)", "ef"),
+        ("SELECT SUBSTR('abcdef', 0)", ""),
+        ("SELECT LEFT('abcdef', 2)", "ab"),
+        ("SELECT RIGHT('abcdef', 2)", "ef"),
+        ("SELECT LPAD('5', 3, '0')", "005"),
+        ("SELECT RPAD('5', 3, '0')", "500"),
+        ("SELECT TRIM('  x  ')", "x"),
+        ("SELECT REPLACE('banana', 'na', 'NA')", "baNANA"),
+        ("SELECT REPEAT('ab', 3)", "ababab"),
+        ("SELECT REVERSE('abc')", "cba"),
+        ("SELECT POSITION('c', 'abc')", "3"),
+        ("SELECT INSTR('abc', 'z')", "0"),
+        ("SELECT LOCATE('a', 'banana', 3)", "4"),
+        ("SELECT ASCII('A')", "65"),
+        ("SELECT CHR(66)", "B"),
+        ("SELECT HEX(255)", "FF"),
+        ("SELECT SOUNDEX('Robert')", "R163"),
+        ("SELECT SPACE(3)", "   "),
+        ("SELECT STRCMP('a', 'b')", "-1"),
+        ("SELECT FIELD('b', 'a', 'b', 'c')", "2"),
+        ("SELECT ELT(2, 'x', 'y')", "y"),
+        ("SELECT FIND_IN_SET('b', 'a,b,c')", "2"),
+        ("SELECT SPLIT_PART('a,b,c', ',', 2)", "b"),
+        ("SELECT SPLIT_PART('a,b,c', ',', -1)", "c"),
+        ("SELECT TRANSLATE('abcd', 'bd', 'BD')", "aBcD"),
+        ("SELECT STARTS_WITH('abc', 'ab')", "1"),
+        ("SELECT TO_BASE64('abc')", "YWJj"),
+        ("SELECT INSERT('Quadratic', 3, 4, 'What')", "QuWhattic"),
+        ("SELECT FORMAT(1234567.891, 2)", "1,234,567.89"),
+        ("SELECT QUOTE('it''s')", "'it''s'"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn regex_function_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT REGEXP_LIKE('abc123', '[0-9]+')", "1"),
+        ("SELECT REGEXP_LIKE('abc', '^z')", "0"),
+        ("SELECT REGEXP_SUBSTR('abc123def', '[0-9]+')", "123"),
+        ("SELECT REGEXP_INSTR('abc123', '[0-9]')", "4"),
+        ("SELECT REGEXP_REPLACE('a1b22c', '[0-9]+', '#')", "a#b#c"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+    // Invalid patterns error; enormous bounds are rejected (CVE-2016-0773's
+    // guarded behaviour).
+    assert!(matches!(
+        e.execute("SELECT REGEXP_LIKE('x', '(')"),
+        ExecOutcome::Error(_)
+    ));
+    assert!(matches!(
+        e.execute("SELECT REGEXP_LIKE('x', 'a{999999999}')"),
+        ExecOutcome::Error(_)
+    ));
+}
+
+#[test]
+fn math_function_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT ABS(-5)", "5"),
+        ("SELECT ABS(-1.25)", "1.25"),
+        ("SELECT CEIL(1.2)", "2"),
+        ("SELECT FLOOR(-1.2)", "-2"),
+        ("SELECT ROUND(2.567, 2)", "2.57"),
+        ("SELECT TRUNCATE(2.567, 2)", "2.56"),
+        ("SELECT MOD(10, 3)", "1"),
+        ("SELECT MOD(10, 0)", "NULL"),
+        ("SELECT SIGN(-3.5)", "-1"),
+        ("SELECT GREATEST(1, 9, 4)", "9"),
+        ("SELECT LEAST(1, 9, 4)", "1"),
+        ("SELECT GREATEST(1, NULL, 4)", "NULL"),
+        ("SELECT DIV(17, 5)", "3"),
+        ("SELECT GCD(12, 18)", "6"),
+        ("SELECT LCM(4, 6)", "12"),
+        ("SELECT FACTORIAL(5)", "120"),
+        ("SELECT BIT_COUNT(7)", "3"),
+        ("SELECT LN(0)", "NULL"),
+        ("SELECT SQRT(-1)", "NULL"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn datetime_function_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT YEAR('2024-02-29')", "2024"),
+        ("SELECT MONTH('2024-02-29')", "2"),
+        ("SELECT DAY('2024-02-29')", "29"),
+        ("SELECT DAYOFWEEK('2024-02-29')", "5"), // Thursday, MySQL 1=Sunday
+        ("SELECT WEEKDAY('2024-02-29')", "3"),   // Thursday, 0=Monday
+        ("SELECT DAYNAME('2024-02-29')", "Thursday"),
+        ("SELECT MONTHNAME('2024-02-29')", "February"),
+        ("SELECT QUARTER('2024-02-29')", "1"),
+        ("SELECT LAST_DAY('2024-02-01')", "2024-02-29"),
+        ("SELECT DATEDIFF('2024-03-01', '2024-02-01')", "29"),
+        ("SELECT DATE_ADD('2024-01-31', INTERVAL 1 MONTH)", "2024-02-29"),
+        ("SELECT DATE_SUB('2024-03-01', INTERVAL 1 DAY)", "2024-02-29"),
+        ("SELECT MAKEDATE(2024, 60)", "2024-02-29"),
+        ("SELECT MAKETIME(12, 30, 45)", "12:30:45"),
+        ("SELECT SEC_TO_TIME(3661)", "01:01:01"),
+        ("SELECT TIME_TO_SEC('01:01:01')", "3661"),
+        ("SELECT PERIOD_ADD(202401, 2)", "202403"),
+        ("SELECT PERIOD_DIFF(202403, 202401)", "2"),
+        ("SELECT DATE_FORMAT('2024-02-29', '%Y/%m/%d')", "2024/02/29"),
+        ("SELECT STR_TO_DATE('29-02-2024', '%d-%m-%Y')", "2024-02-29"),
+        ("SELECT TIMESTAMPDIFF('DAY', '2024-02-01', '2024-03-01')", "29"),
+        ("SELECT DATEDIFF(DATE '2024-01-02', DATE '2024-01-01')", "1"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+    // Invalid dates surface as errors/NULLs, never panics.
+    assert!(matches!(
+        e.execute("SELECT YEAR('2023-02-29')"),
+        ExecOutcome::Error(_)
+    ));
+}
+
+#[test]
+fn json_function_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT JSON_VALID('{\"a\": 1}')", "1"),
+        ("SELECT JSON_VALID('{oops')", "0"),
+        ("SELECT JSON_LENGTH('[1, 2, 3]')", "3"),
+        ("SELECT JSON_LENGTH('{\"a\":1,\"b\":2}')", "2"),
+        ("SELECT JSON_DEPTH('[[1]]')", "3"),
+        ("SELECT JSON_TYPE('[1]')", "ARRAY"),
+        ("SELECT JSON_EXTRACT('{\"a\": {\"b\": 7}}', '$.a.b')", "7"),
+        ("SELECT JSON_KEYS('{\"x\":1,\"y\":2}')", "[\"x\",\"y\"]"),
+        ("SELECT JSON_ARRAY(1, 'two')", "[1,\"two\"]"),
+        ("SELECT JSON_OBJECT('k', 5)", "{\"k\":5}"),
+        ("SELECT JSON_QUOTE('a\"b')", "\"a\\\"b\""),
+        ("SELECT JSON_UNQUOTE('\"abc\"')", "abc"),
+        ("SELECT JSON_CONTAINS('[1,2]', '2')", "1"),
+        ("SELECT JSON_MERGE('[1]', '[2]')", "[1,2]"),
+        ("SELECT JSON_SET('{\"a\":1}', '$.a', 9)", "{\"a\":9}"),
+        ("SELECT JSON_REMOVE('{\"a\":1,\"b\":2}', '$.a')", "{\"b\":2}"),
+        ("SELECT JSON_SEARCH('[\"x\",\"y\"]', 'one', 'y')", "$[1]"),
+        ("SELECT COLUMN_JSON(COLUMN_CREATE('n', 42))", "{\"n\":42}"),
+        ("SELECT COLUMN_GET(COLUMN_CREATE('n', 42), 'n')", "42"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn xml_and_spatial_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT ExtractValue('<a><b>text</b></a>', '/a/b')", "text"),
+        (
+            "SELECT UpdateXML('<a><c></c></a>', '/a/c[1]', '<b></b>')",
+            "<a><b/></a>",
+        ),
+        ("SELECT XML_VALID('<a><b/></a>')", "1"),
+        ("SELECT XML_VALID('<a>')", "0"),
+        ("SELECT ST_ASTEXT(ST_GEOMFROMTEXT('POINT(1 2)'))", "POINT(1 2)"),
+        ("SELECT ST_X(POINT(3.5, 4.5))", "3.5"),
+        ("SELECT ST_DIMENSION(ST_GEOMFROMTEXT('POLYGON((0 0,1 0,1 1,0 0))'))", "2"),
+        ("SELECT ST_NUMPOINTS(ST_GEOMFROMTEXT('LINESTRING(0 0,1 1,2 2)'))", "3"),
+        ("SELECT ST_LENGTH(ST_GEOMFROMTEXT('LINESTRING(0 0,3 4)'))", "5"),
+        (
+            "SELECT ST_ASTEXT(BOUNDARY(ST_GEOMFROMTEXT('LINESTRING(0 0,5 5)')))",
+            "GEOMETRYCOLLECTION(POINT(0 0),POINT(5 5))",
+        ),
+        ("SELECT INET_NTOA(INET_ATON('192.168.1.1'))", "192.168.1.1"),
+        ("SELECT INET6_NTOA(INET6_ATON('2001:db8::1'))", "2001:db8::1"),
+        ("SELECT IS_IPV4('10.0.0.1')", "1"),
+        ("SELECT IS_IPV6('10.0.0.1')", "0"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn container_function_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT ARRAY_LENGTH([1, 2, 3])", "3"),
+        ("SELECT ELEMENT_AT([10, 20, 30], 2)", "20"),
+        ("SELECT ELEMENT_AT([10, 20, 30], -1)", "30"),
+        ("SELECT ELEMENT_AT([10], 5)", "NULL"),
+        ("SELECT ARRAY_CONCAT([1], [2, 3])", "[1, 2, 3]"),
+        ("SELECT ARRAY_SLICE([1, 2, 3, 4], 2, 3)", "[2, 3]"),
+        ("SELECT ARRAY_CONTAINS([1, 2], 2)", "1"),
+        ("SELECT ARRAY_POSITION([5, 6], 6)", "2"),
+        ("SELECT ARRAY_DISTINCT([1, 1, 2])", "[1, 2]"),
+        ("SELECT ARRAY_SORT([3, 1, 2])", "[1, 2, 3]"),
+        ("SELECT ARRAY_MIN([3, 1, 2])", "1"),
+        ("SELECT ARRAY_SUM([1, 2, 3])", "6"),
+        ("SELECT CARDINALITY(MAP('a', 1, 'b', 2))", "2"),
+        ("SELECT MAP_KEYS(MAP('a', 1))", "[a]"),
+        ("SELECT MAP_CONTAINS_KEY(MAP('a', 1), 'a')", "1"),
+        ("SELECT ELEMENT_AT(MAP('k', 9), 'k')", "9"),
+        ("SELECT LIST_VALUE(1, 'x')", "[1, x]"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn aggregate_golden_outputs() {
+    let mut e = engine();
+    e.execute("CREATE TABLE n (v INTEGER)");
+    e.execute("INSERT INTO n VALUES (1), (2), (3), (4), (NULL)");
+    for (sql, want) in [
+        ("SELECT COUNT(*) FROM n", "5"),
+        ("SELECT COUNT(v) FROM n", "4"),
+        ("SELECT SUM(v) FROM n", "10"),
+        ("SELECT AVG(v) FROM n", "2.5000"),
+        ("SELECT MIN(v) FROM n", "1"),
+        ("SELECT MAX(v) FROM n", "4"),
+        ("SELECT GROUP_CONCAT(v) FROM n", "1,2,3,4"),
+        ("SELECT BIT_OR(v) FROM n", "7"),
+        ("SELECT BIT_AND(v) FROM n", "0"),
+        ("SELECT BIT_XOR(v) FROM n", "4"),
+        ("SELECT MEDIAN(v) FROM n", "2.5"),
+        ("SELECT VAR_POP(v) FROM n", "1.25"),
+        ("SELECT BOOL_AND(v) FROM n", "1"),
+        ("SELECT ARRAY_AGG(v) FROM n", "[1, 2, 3, 4, NULL]"),
+        ("SELECT JSON_ARRAYAGG(v) FROM n", "[1,2,3,4,null]"),
+        ("SELECT JSON_OBJECTAGG(v, v) FROM n WHERE v < 3", "{\"1\":1,\"2\":2}"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn casting_and_condition_golden_outputs() {
+    let mut e = engine();
+    for (sql, want) in [
+        ("SELECT CAST('42abc' AS INTEGER)", "42"),
+        ("SELECT CAST(3.99 AS INTEGER)", "3"),
+        ("SELECT '5'::DOUBLE + 0.5", "5.5"),
+        ("SELECT toDecimalString(1.25, 4)", "1.2500"),
+        ("SELECT TRY_CAST('nope', 'INTEGER')", "0"),
+        ("SELECT IF(1 > 2, 'a', 'b')", "b"),
+        ("SELECT IFNULL(NULL, 7)", "7"),
+        ("SELECT NULLIF(3, 3)", "NULL"),
+        ("SELECT COALESCE(NULL, NULL, 9)", "9"),
+        ("SELECT INTERVAL(5, 1, 3, 7)", "2"),
+        ("SELECT DECODE(2, 1, 'one', 2, 'two', 'other')", "two"),
+        ("SELECT NVL2(NULL, 'a', 'b')", "b"),
+        ("SELECT TYPEOF(1.5)", "DECIMAL"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}
+
+#[test]
+fn nested_paper_style_chains() {
+    let mut e = engine();
+    for (sql, want) in [
+        // The Listing 10 shape on valid JSON.
+        ("SELECT JSON_LENGTH(CONCAT(REPEAT('[1,', 3), '1', REPEAT(']', 3)), '$[0]')", "1"),
+        // Nested casting chain.
+        ("SELECT LENGTH(CAST(CAST(12345 AS TEXT) AS BINARY))", "5"),
+        // Nested date chain.
+        ("SELECT YEAR(DATE_ADD('2023-12-31', INTERVAL 1 DAY))", "2024"),
+        // INET chain into text.
+        ("SELECT LENGTH(INET6_ATON('255.255.255.255'))", "4"),
+    ] {
+        assert_eq!(scalar(&mut e, sql), want, "{sql}");
+    }
+}

@@ -1,0 +1,105 @@
+//! The paper's quantitative skeleton, asserted end-to-end: if any of these
+//! fail, the reproduction no longer matches the published numbers.
+
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::study::{analysis, studied_bugs};
+
+#[test]
+fn study_headline_numbers() {
+    let bugs = studied_bugs();
+    assert_eq!(bugs.len(), 318);
+    let rc = analysis::root_causes(&bugs);
+    assert_eq!(rc.boundary_total(), 278, "87.4% boundary share");
+    assert_eq!((rc.literal, rc.casting, rc.nested), (94, 74, 110));
+    assert_eq!(analysis::finding3(&bugs), 278, "Finding 3");
+    assert_eq!(analysis::total_occurrences(&bugs), 508, "Finding 2");
+    let f1 = analysis::finding1(&bugs);
+    assert_eq!(
+        (f1.with_backtrace, f1.execution, f1.optimization, f1.parsing),
+        (230, 161, 45, 24)
+    );
+}
+
+#[test]
+fn table4_corpus_totals() {
+    let per_dialect: Vec<(DialectId, usize)> = DialectId::ALL
+        .iter()
+        .map(|id| (*id, DialectProfile::build(*id).faults.len()))
+        .collect();
+    let expect = [1usize, 16, 24, 6, 19, 21, 45];
+    for ((id, n), want) in per_dialect.iter().zip(expect) {
+        assert_eq!(*n, want, "{id:?}");
+    }
+    let total: usize = per_dialect.iter().map(|(_, n)| n).sum();
+    assert_eq!(total, 132);
+}
+
+#[test]
+fn pattern_and_fix_totals() {
+    let mut groups = [0usize; 3];
+    let mut fixed = 0usize;
+    for id in DialectId::ALL {
+        for f in DialectProfile::build(id).faults {
+            groups[f.spec.pattern.group() as usize - 1] += 1;
+            fixed += usize::from(f.spec.fixed);
+        }
+    }
+    assert_eq!(groups, [56, 28, 48], "P1.x/P2.x/P3.x split of §7.3");
+    assert_eq!(fixed, 97, "97 fixed");
+}
+
+#[test]
+fn postgres_strictness_story() {
+    // §7.3: PostgreSQL's strict type system explains its single bug. Our
+    // strict profile must reject the implicit coercions the lenient ones
+    // accept.
+    let pg = DialectProfile::build(DialectId::Postgres);
+    let my = DialectProfile::build(DialectId::Mysql);
+    let mut pg_engine = pg.engine();
+    let mut my_engine = my.engine();
+    let sql = "SELECT UPPER(123)";
+    assert!(matches!(
+        pg_engine.execute(sql),
+        soft_repro::engine::ExecOutcome::Error(_)
+    ));
+    assert!(matches!(
+        my_engine.execute(sql),
+        soft_repro::engine::ExecOutcome::Rows(_)
+    ));
+    assert_eq!(pg.faults.len(), 1);
+}
+
+#[test]
+fn clickhouse_has_the_largest_catalog() {
+    // The Table 5 ordering anchor.
+    let sizes: Vec<(DialectId, usize)> = DialectId::ALL
+        .iter()
+        .map(|id| (*id, DialectProfile::build(*id).registry.name_count()))
+        .collect();
+    let ch = sizes
+        .iter()
+        .find(|(id, _)| *id == DialectId::Clickhouse)
+        .expect("clickhouse present")
+        .1;
+    for (id, n) in &sizes {
+        if *id != DialectId::Clickhouse {
+            assert!(ch > *n, "{id:?} ({n}) >= ClickHouse ({ch})");
+        }
+    }
+}
+
+#[test]
+fn studied_pocs_execute_on_the_reference_engine() {
+    // Every real PoC attached to the study dataset parses and runs without
+    // crashing the guarded engine.
+    let mut e = soft_repro::engine::Engine::with_default_functions(Default::default());
+    let mut count = 0;
+    for bug in studied_bugs() {
+        if let Some(poc) = &bug.poc {
+            let out = e.execute(poc);
+            assert!(!out.is_crash(), "{}: {poc} crashed", bug.reference);
+            count += 1;
+        }
+    }
+    assert!(count >= 5, "expected several exemplar PoCs, got {count}");
+}
