@@ -10,8 +10,7 @@
 //! built from — which is precisely the paper's explanation for why they
 //! miss SQL function bugs.
 
-use rand::rngs::StdRng;
-use rand::Rng;
+use soft_rng::Rng;
 
 /// The schema every baseline works against (created by its own prelude,
 /// mirroring the shared seed schema).
@@ -32,7 +31,7 @@ pub fn prelude() -> Vec<String> {
 
 /// A mid-range random literal of the kind the baselines emit: small
 /// integers, small floats, short lowercase strings.
-pub fn random_plain_literal(rng: &mut StdRng) -> String {
+pub fn random_plain_literal(rng: &mut Rng) -> String {
     match rng.gen_range(0..6) {
         0 | 1 => rng.gen_range(0..100i64).to_string(),
         2 => format!("{:.2}", rng.gen_range(0.0..10.0f64)),
@@ -48,25 +47,24 @@ pub fn random_plain_literal(rng: &mut StdRng) -> String {
 }
 
 /// A random column reference from the baseline schema.
-pub fn random_column(rng: &mut StdRng) -> (&'static str, &'static str) {
+pub fn random_column(rng: &mut Rng) -> (&'static str, &'static str) {
     let (table, cols) = TABLES[rng.gen_range(0..TABLES.len())];
     let (col, _) = cols[rng.gen_range(0..cols.len())];
     (table, col)
 }
 
 /// A random comparison operator.
-pub fn random_cmp(rng: &mut StdRng) -> &'static str {
-    ["=", "<>", "<", "<=", ">", ">="][rng.gen_range(0..6)]
+pub fn random_cmp(rng: &mut Rng) -> &'static str {
+    ["=", "<>", "<", "<=", ">", ">="][rng.gen_range(0..6usize)]
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn plain_literals_avoid_boundary_values() {
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = Rng::seed_from_u64(7);
         for _ in 0..500 {
             let lit = random_plain_literal(&mut rng);
             assert_ne!(lit, "NULL");

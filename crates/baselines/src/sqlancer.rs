@@ -8,8 +8,7 @@
 //! only supports generating random values for SQL function arguments").
 
 use crate::common;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soft_rng::Rng;
 use soft_core::StatementGenerator;
 
 /// The hand-modelled function set (name, arity) — the PQS operator models.
@@ -53,7 +52,7 @@ const MODELED_FUNCTIONS: &[(&str, usize)] = &[
 
 /// The generator.
 pub struct SqlancerLite {
-    rng: StdRng,
+    rng: Rng,
     queue: Vec<String>,
     pivot_round: u64,
 }
@@ -63,7 +62,7 @@ impl SqlancerLite {
     pub fn new(seed: u64) -> SqlancerLite {
         let mut queue = common::prelude();
         queue.reverse();
-        SqlancerLite { rng: StdRng::seed_from_u64(seed), queue, pivot_round: 0 }
+        SqlancerLite { rng: Rng::seed_from_u64(seed), queue, pivot_round: 0 }
     }
 
     fn modeled_call(&mut self) -> String {

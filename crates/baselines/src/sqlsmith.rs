@@ -6,14 +6,13 @@
 //! mid-range arguments almost never sit on a boundary.
 
 use crate::common;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soft_rng::Rng;
 use soft_core::StatementGenerator;
 use soft_dialects::DialectProfile;
 
 /// The generator.
 pub struct SqlsmithLite {
-    rng: StdRng,
+    rng: Rng,
     /// (name, example-arity) pairs read from the catalog.
     functions: Vec<(String, usize)>,
     queue: Vec<String>,
@@ -53,7 +52,7 @@ impl SqlsmithLite {
             .collect();
         let mut queue = common::prelude();
         queue.reverse();
-        SqlsmithLite { rng: StdRng::seed_from_u64(seed), functions, queue }
+        SqlsmithLite { rng: Rng::seed_from_u64(seed), functions, queue }
     }
 
     fn random_arg(&mut self) -> String {
@@ -78,7 +77,7 @@ impl SqlsmithLite {
             4 => {
                 let a = self.random_arg();
                 let b = self.random_arg();
-                let op = ["+", "-", "*", "/"][self.rng.gen_range(0..4)];
+                let op = ["+", "-", "*", "/"][self.rng.gen_range(0..4usize)];
                 format!("{a} {op} {b}")
             }
             5 => common::random_plain_literal(&mut self.rng),

@@ -6,8 +6,7 @@
 //! triggered-function counts in Table 5 are the lowest of the four tools.
 
 use crate::common;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use soft_rng::Rng;
 use soft_core::StatementGenerator;
 use soft_dialects::DialectProfile;
 use soft_parser::ast::{Expr, Literal, Statement};
@@ -15,7 +14,7 @@ use soft_parser::visit;
 
 /// The generator.
 pub struct SquirrelLite {
-    rng: StdRng,
+    rng: Rng,
     seeds: Vec<Statement>,
     queue: Vec<String>,
     round: usize,
@@ -40,7 +39,7 @@ impl SquirrelLite {
             }
         }
         queue.reverse();
-        SquirrelLite { rng: StdRng::seed_from_u64(seed), seeds, queue, round: 0 }
+        SquirrelLite { rng: Rng::seed_from_u64(seed), seeds, queue, round: 0 }
     }
 
     /// One IR mutation of a seed: literal substitution (type-preserving,

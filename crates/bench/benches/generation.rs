@@ -1,61 +1,48 @@
 //! Throughput of SOFT's collection and pattern-generation stages (§7.1
 //! steps 1–2) and of the Table 3 literal patterns specifically.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use soft_bench::Bench;
 use soft_core::collect;
 use soft_core::patterns::{apply, GenCtx};
 use soft_dialects::{DialectId, DialectProfile};
 use soft_engine::PatternId;
+use std::hint::black_box;
 
-fn bench_collection(c: &mut Criterion) {
-    let profile = DialectProfile::build(DialectId::Mariadb);
-    c.bench_function("collection/mariadb", |bench| {
-        bench.iter(|| black_box(collect::collect(&profile)))
-    });
-}
+fn main() {
+    let mut b = Bench::new("generation");
 
-fn bench_patterns(c: &mut Criterion) {
     let profile = DialectProfile::build(DialectId::Mariadb);
+    b.bench("collection/mariadb", || black_box(collect::collect(&profile)));
+
     let collection = collect::collect(&profile);
     let ctx = GenCtx::new(&collection);
     let seed = soft_parser::parse_statement("SELECT JSON_LENGTH('{\"a\": [1, 2]}', '$.a')")
         .expect("valid seed");
-    let mut g = c.benchmark_group("pattern_apply");
+    // All ten patterns, P1.1 included — the campaign applies every one.
     for pattern in PatternId::ALL {
-        if pattern == PatternId::P1_1 {
-            continue;
-        }
-        g.bench_with_input(BenchmarkId::from_parameter(pattern.label()), &pattern, |bench, p| {
-            bench.iter(|| {
-                let mut out = Vec::new();
-                apply(*p, &seed, &ctx, 64, &mut out);
-                black_box(out)
-            })
+        b.bench(&format!("pattern_apply/{}", pattern.label()), || {
+            let mut out = Vec::new();
+            apply(pattern, &seed, &ctx, 64, &mut out);
+            black_box(out)
         });
     }
-    g.finish();
-}
 
-fn bench_full_generation(c: &mut Criterion) {
     // One full generation sweep (all patterns × all seeds) for the smallest
     // target — the up-front cost of a campaign.
-    let profile = DialectProfile::build(DialectId::Monetdb);
-    let collection = collect::collect(&profile);
-    let ctx = GenCtx::new(&collection);
-    c.bench_function("generation/monetdb_full_sweep", |bench| {
-        bench.iter(|| {
-            let mut total = 0usize;
-            for pattern in PatternId::ALL {
-                for seed in &collection.seeds {
-                    let mut out = Vec::new();
-                    apply(pattern, seed, &ctx, 16, &mut out);
-                    total += out.len();
-                }
+    let monet = DialectProfile::build(DialectId::Monetdb);
+    let monet_collection = collect::collect(&monet);
+    let monet_ctx = GenCtx::new(&monet_collection);
+    b.bench("generation/monetdb_full_sweep", || {
+        let mut total = 0usize;
+        for pattern in PatternId::ALL {
+            for seed in &monet_collection.seeds {
+                let mut out = Vec::new();
+                apply(pattern, seed, &monet_ctx, 16, &mut out);
+                total += out.len();
             }
-            black_box(total)
-        })
+        }
+        black_box(total)
     });
-}
 
-criterion_group!(benches, bench_collection, bench_patterns, bench_full_generation);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,68 +1,54 @@
 //! Throughput of the engine's three-stage pipeline: the cost model behind
 //! the statement budgets that substitute the paper's wall-clock budgets.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use soft_bench::Bench;
 use soft_engine::Engine;
+use std::hint::black_box;
 
-fn bench_parse(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("sql_pipeline");
+
     let statements = [
         "SELECT 1 + 2 * 3",
         "SELECT UPPER('abc'), LENGTH(CONCAT('a', 'b'))",
         "SELECT a, COUNT(*) FROM t1 WHERE a > 1 GROUP BY a HAVING COUNT(*) > 2 ORDER BY a LIMIT 5",
         "SELECT JSON_LENGTH(REPEAT('[1,', 100), '$[2][1]')",
     ];
-    let mut g = c.benchmark_group("parse");
     for (i, sql) in statements.iter().enumerate() {
-        g.bench_function(format!("stmt{i}"), |bench| {
-            bench.iter(|| black_box(soft_parser::parse_statement(sql).unwrap()))
+        b.bench(&format!("parse/stmt{i}"), || {
+            black_box(soft_parser::parse_statement(sql).unwrap())
         });
     }
-    g.finish();
-}
 
-fn bench_execute(c: &mut Criterion) {
-    let mut g = c.benchmark_group("execute");
-    g.bench_function("scalar_function", |bench| {
-        let mut e = Engine::with_default_functions(Default::default());
-        bench.iter(|| black_box(e.execute("SELECT UPPER('hello world')")))
-    });
-    g.bench_function("boundary_literal", |bench| {
-        let mut e = Engine::with_default_functions(Default::default());
-        let sql = format!("SELECT AVG({})", "9".repeat(45));
-        bench.iter(|| black_box(e.execute(&sql)))
-    });
-    g.bench_function("aggregate_over_table", |bench| {
-        let mut e = Engine::with_default_functions(Default::default());
-        e.execute("CREATE TABLE b (v INTEGER)");
-        let values: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
-        e.execute(&format!("INSERT INTO b VALUES {}", values.join(", ")));
-        bench.iter(|| black_box(e.execute("SELECT AVG(v), COUNT(*), MAX(v) FROM b")))
-    });
-    g.bench_function("nested_functions", |bench| {
-        let mut e = Engine::with_default_functions(Default::default());
-        bench.iter(|| {
-            black_box(e.execute("SELECT JSON_LENGTH(CONCAT('[', REPEAT('1,', 50), '1]'))"))
-        })
-    });
-    g.finish();
-}
+    let mut e = Engine::with_default_functions(Default::default());
+    b.bench("execute/scalar_function", || black_box(e.execute("SELECT UPPER('hello world')")));
 
-fn bench_fault_checking(c: &mut Criterion) {
+    let mut e = Engine::with_default_functions(Default::default());
+    let sql = format!("SELECT AVG({})", "9".repeat(45));
+    b.bench("execute/boundary_literal", || black_box(e.execute(&sql)));
+
+    let mut e = Engine::with_default_functions(Default::default());
+    e.execute("CREATE TABLE b (v INTEGER)");
+    let values: Vec<String> = (0..200).map(|i| format!("({i})")).collect();
+    e.execute(&format!("INSERT INTO b VALUES {}", values.join(", ")));
+    b.bench("execute/aggregate_over_table", || {
+        black_box(e.execute("SELECT AVG(v), COUNT(*), MAX(v) FROM b"))
+    });
+
+    let mut e = Engine::with_default_functions(Default::default());
+    b.bench("execute/nested_functions", || {
+        black_box(e.execute("SELECT JSON_LENGTH(CONCAT('[', REPEAT('1,', 50), '1]'))"))
+    });
+
     // The fault-matching overhead on the hot path, with Virtuoso's 45 faults
     // loaded.
     let profile = soft_dialects::DialectProfile::build(soft_dialects::DialectId::Virtuoso);
-    let mut g = c.benchmark_group("fault_check");
-    g.bench_function("non_matching_call", |bench| {
-        let mut e = profile.engine();
-        bench.iter(|| black_box(e.execute("SELECT UPPER('plain')")))
-    });
-    g.bench_function("crashing_call", |bench| {
-        let witness = profile.faults[0].witness.clone();
-        let mut e = profile.engine();
-        bench.iter(|| black_box(e.execute(&witness)))
-    });
-    g.finish();
-}
+    let mut e = profile.engine();
+    b.bench("fault_check/non_matching_call", || black_box(e.execute("SELECT UPPER('plain')")));
 
-criterion_group!(benches, bench_parse, bench_execute, bench_fault_checking);
-criterion_main!(benches);
+    let witness = profile.faults[0].witness.clone();
+    let mut e = profile.engine();
+    b.bench("fault_check/crashing_call", || black_box(e.execute(&witness)));
+
+    b.finish();
+}

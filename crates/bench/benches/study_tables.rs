@@ -2,48 +2,38 @@
 //! dataset construction plus each analysis, with correctness asserted
 //! against the paper's published values inside the measured closure.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use soft_bench::Bench;
 use soft_study::{analysis, studied_bugs};
+use std::hint::black_box;
 
-fn bench_dataset(c: &mut Criterion) {
-    c.bench_function("study/dataset_build", |b| b.iter(|| black_box(studied_bugs())));
-}
+fn main() {
+    let mut b = Bench::new("study_tables");
 
-fn bench_analyses(c: &mut Criterion) {
+    b.bench("study/dataset_build", || black_box(studied_bugs()));
+
     let bugs = studied_bugs();
-    let mut g = c.benchmark_group("study");
-    g.bench_function("table1", |b| {
-        b.iter(|| {
-            let t = analysis::table1(&bugs);
-            assert_eq!(t[2].1, 269);
-            black_box(t)
-        })
+    b.bench("study/table1", || {
+        let t = analysis::table1(&bugs);
+        assert_eq!(t[2].1, 269);
+        black_box(t)
     });
-    g.bench_function("table2", |b| {
-        b.iter(|| {
-            let t = analysis::table2(&bugs);
-            assert_eq!(t, analysis::paper::TABLE2);
-            black_box(t)
-        })
+    b.bench("study/table2", || {
+        let t = analysis::table2(&bugs);
+        assert_eq!(t, analysis::paper::TABLE2);
+        black_box(t)
     });
-    g.bench_function("figure1", |b| {
-        b.iter(|| {
-            let f = analysis::figure1(&bugs);
-            assert_eq!(f[0].1, analysis::paper::STRING_OCCURRENCES);
-            black_box(f)
-        })
+    b.bench("study/figure1", || {
+        let f = analysis::figure1(&bugs);
+        assert_eq!(f[0].1, analysis::paper::STRING_OCCURRENCES);
+        black_box(f)
     });
-    g.bench_function("findings", |b| {
-        b.iter(|| {
-            let f1 = analysis::finding1(&bugs);
-            assert_eq!(f1.execution, analysis::paper::STAGE_EXECUTION);
-            let rc = analysis::root_causes(&bugs);
-            assert_eq!(rc.boundary_total(), analysis::paper::BOUNDARY_TOTAL);
-            black_box((f1, rc))
-        })
+    b.bench("study/findings", || {
+        let f1 = analysis::finding1(&bugs);
+        assert_eq!(f1.execution, analysis::paper::STAGE_EXECUTION);
+        let rc = analysis::root_causes(&bugs);
+        assert_eq!(rc.boundary_total(), analysis::paper::BOUNDARY_TOTAL);
+        black_box((f1, rc))
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_dataset, bench_analyses);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,74 +1,42 @@
 //! Microbenchmarks of the data-type substrates: the layers the studied bugs
 //! live in (decimal arithmetic, JSON parsing, regex matching, WKT parsing).
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use soft_bench::Bench;
 use soft_engine::regex::Regex;
 use soft_types::decimal::Decimal;
 use soft_types::geometry::Geometry;
 use soft_types::json;
+use std::hint::black_box;
 
-fn bench_decimal(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("substrates");
+
     let a: Decimal = format!("1.{}", "9".repeat(40)).parse().unwrap();
-    let b: Decimal = "123456789.123456789".parse().unwrap();
-    let mut g = c.benchmark_group("decimal");
-    g.bench_function("parse_45_digits", |bench| {
-        let s = "9".repeat(45);
-        bench.iter(|| black_box(s.parse::<Decimal>().unwrap()))
-    });
-    g.bench_function("add", |bench| {
-        bench.iter(|| black_box(a.checked_add(&b).unwrap()))
-    });
-    g.bench_function("mul", |bench| {
-        bench.iter(|| black_box(a.checked_mul(&b).unwrap()))
-    });
-    g.bench_function("div_scale4", |bench| {
-        bench.iter(|| black_box(a.checked_div(&b).unwrap()))
-    });
-    g.bench_function("to_string", |bench| bench.iter(|| black_box(a.to_string())));
-    g.finish();
-}
+    let d: Decimal = "123456789.123456789".parse().unwrap();
+    let s45 = "9".repeat(45);
+    b.bench("decimal/parse_45_digits", || black_box(s45.parse::<Decimal>().unwrap()));
+    b.bench("decimal/add", || black_box(a.checked_add(&d).unwrap()));
+    b.bench("decimal/mul", || black_box(a.checked_mul(&d).unwrap()));
+    b.bench("decimal/div_scale4", || black_box(a.checked_div(&d).unwrap()));
+    b.bench("decimal/to_string", || black_box(a.to_string()));
 
-fn bench_json(c: &mut Criterion) {
     let flat = format!("[{}]", (0..100).map(|i| i.to_string()).collect::<Vec<_>>().join(","));
     let nested = format!("{}1{}", "[".repeat(48), "]".repeat(48));
-    let mut g = c.benchmark_group("json");
-    g.bench_function("parse_flat_100", |bench| {
-        bench.iter(|| black_box(json::parse(&flat).unwrap()))
-    });
-    g.bench_function("parse_nested_48", |bench| {
-        bench.iter(|| black_box(json::parse(&nested).unwrap()))
-    });
-    g.bench_function("reject_too_deep", |bench| {
-        let deep = "[".repeat(1000);
-        bench.iter(|| black_box(json::parse(&deep).unwrap_err()))
-    });
-    g.finish();
-}
+    let deep = "[".repeat(1000);
+    b.bench("json/parse_flat_100", || black_box(json::parse(&flat).unwrap()));
+    b.bench("json/parse_nested_48", || black_box(json::parse(&nested).unwrap()));
+    b.bench("json/reject_too_deep", || black_box(json::parse(&deep).unwrap_err()));
 
-fn bench_regex(c: &mut Criterion) {
     let re = Regex::compile("[a-z]+[0-9]{2,4}").unwrap();
     let text = "xyzzy az appendix12 code9999 trailing";
-    let mut g = c.benchmark_group("regex");
-    g.bench_function("compile", |bench| {
-        bench.iter(|| black_box(Regex::compile("[a-z]+[0-9]{2,4}").unwrap()))
-    });
-    g.bench_function("find", |bench| bench.iter(|| black_box(re.find(text).unwrap())));
-    g.finish();
-}
+    b.bench("regex/compile", || black_box(Regex::compile("[a-z]+[0-9]{2,4}").unwrap()));
+    b.bench("regex/find", || black_box(re.find(text).unwrap()));
 
-fn bench_geometry(c: &mut Criterion) {
     let wkt = "POLYGON((0 0,10 0,10 10,0 10,0 0),(2 2,4 2,4 4,2 2))";
     let geom = Geometry::parse_wkt(wkt).unwrap();
     let bin = geom.to_binary();
-    let mut g = c.benchmark_group("geometry");
-    g.bench_function("parse_wkt", |bench| {
-        bench.iter(|| black_box(Geometry::parse_wkt(wkt).unwrap()))
-    });
-    g.bench_function("binary_roundtrip", |bench| {
-        bench.iter(|| black_box(Geometry::from_binary(&bin).unwrap()))
-    });
-    g.finish();
-}
+    b.bench("geometry/parse_wkt", || black_box(Geometry::parse_wkt(wkt).unwrap()));
+    b.bench("geometry/binary_roundtrip", || black_box(Geometry::from_binary(&bin).unwrap()));
 
-criterion_group!(benches, bench_decimal, bench_json, bench_regex, bench_geometry);
-criterion_main!(benches);
+    b.finish();
+}

@@ -2,34 +2,29 @@
 //! per target, reporting bug-discovery work rates. The full-budget run is
 //! `repro table4`.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use soft_bench::Bench;
 use soft_core::campaign::{run_soft, CampaignConfig};
 use soft_dialects::{DialectId, DialectProfile};
+use std::hint::black_box;
 
-fn bench_campaigns(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table4_campaign");
-    g.sample_size(10);
+fn main() {
+    let mut b = Bench::new("table4_campaign");
+
     for id in [DialectId::Monetdb, DialectId::Clickhouse, DialectId::Mariadb] {
         let profile = DialectProfile::build(id);
-        g.bench_with_input(BenchmarkId::from_parameter(id.name()), &profile, |bench, p| {
-            bench.iter(|| {
-                let report = run_soft(
-                    p,
-                    &CampaignConfig { max_statements: 2_000, per_seed_cap: 8, patterns: None },
-                );
-                black_box(report.findings.len())
-            })
+        b.bench(&format!("table4_campaign/{}", id.name()), || {
+            let report = run_soft(
+                &profile,
+                &CampaignConfig { max_statements: 2_000, per_seed_cap: 8, patterns: None },
+            );
+            black_box(report.findings.len())
         });
     }
-    g.finish();
-}
 
-fn bench_profile_build(c: &mut Criterion) {
     // Building a profile includes corpus construction and witness synthesis.
-    c.bench_function("profile_build/virtuoso", |bench| {
-        bench.iter(|| black_box(DialectProfile::build(DialectId::Virtuoso)))
+    b.bench("profile_build/virtuoso", || {
+        black_box(DialectProfile::build(DialectId::Virtuoso))
     });
-}
 
-criterion_group!(benches, bench_campaigns, bench_profile_build);
-criterion_main!(benches);
+    b.finish();
+}

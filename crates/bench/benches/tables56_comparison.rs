@@ -2,86 +2,67 @@
 //! against the same target, so the comparison's equal-budget design can be
 //! related back to equal-time. The full comparison is `repro table5`.
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use soft_baselines::{SqlancerLite, SqlsmithLite, SquirrelLite};
+use soft_bench::Bench;
 use soft_core::campaign::{run_generator, run_soft, CampaignConfig, StatementGenerator};
 use soft_dialects::{DialectId, DialectProfile};
+use std::hint::black_box;
 
 const BUDGET: usize = 1_500;
 
-fn bench_tools(c: &mut Criterion) {
+fn main() {
+    let mut b = Bench::new("tables56_comparison");
+
     let profile = DialectProfile::build(DialectId::Postgres);
-    let mut g = c.benchmark_group("tables56");
-    g.sample_size(10);
-    g.bench_function("soft", |bench| {
-        bench.iter(|| {
-            let r = run_soft(
-                &profile,
-                &CampaignConfig { max_statements: BUDGET, per_seed_cap: 8, patterns: None },
-            );
-            black_box((r.functions_triggered, r.branches_covered))
-        })
+    b.bench("tables56/soft", || {
+        let r = run_soft(
+            &profile,
+            &CampaignConfig { max_statements: BUDGET, per_seed_cap: 8, patterns: None },
+        );
+        black_box((r.functions_triggered, r.branches_covered))
     });
-    g.bench_function("sqlsmith", |bench| {
-        bench.iter(|| {
-            let mut gen = SqlsmithLite::new(&profile, 7);
-            let r = run_generator(&profile, &mut gen, BUDGET);
-            black_box((r.functions_triggered, r.branches_covered))
-        })
+    b.bench("tables56/sqlsmith", || {
+        let mut gen = SqlsmithLite::new(&profile, 7);
+        let r = run_generator(&profile, &mut gen, BUDGET);
+        black_box((r.functions_triggered, r.branches_covered))
     });
-    g.bench_function("sqlancer", |bench| {
-        bench.iter(|| {
-            let mut gen = SqlancerLite::new(7);
-            let r = run_generator(&profile, &mut gen, BUDGET);
-            black_box((r.functions_triggered, r.branches_covered))
-        })
+    b.bench("tables56/sqlancer", || {
+        let mut gen = SqlancerLite::new(7);
+        let r = run_generator(&profile, &mut gen, BUDGET);
+        black_box((r.functions_triggered, r.branches_covered))
     });
-    g.bench_function("squirrel", |bench| {
-        bench.iter(|| {
-            let mut gen = SquirrelLite::new(&profile, 7);
-            let r = run_generator(&profile, &mut gen, BUDGET);
-            black_box((r.functions_triggered, r.branches_covered))
-        })
+    b.bench("tables56/squirrel", || {
+        let mut gen = SquirrelLite::new(&profile, 7);
+        let r = run_generator(&profile, &mut gen, BUDGET);
+        black_box((r.functions_triggered, r.branches_covered))
     });
-    g.finish();
-}
 
-fn bench_generator_streams(c: &mut Criterion) {
     // Pure generation cost (no engine), per tool.
-    let profile = DialectProfile::build(DialectId::Mysql);
-    let mut g = c.benchmark_group("generator_stream");
-    g.bench_function("sqlsmith_1k", |bench| {
-        bench.iter(|| {
-            let mut gen = SqlsmithLite::new(&profile, 3);
-            let mut n = 0usize;
-            for _ in 0..1000 {
-                n += gen.next_statement().map(|s| s.len()).unwrap_or(0);
-            }
-            black_box(n)
-        })
+    let mysql = DialectProfile::build(DialectId::Mysql);
+    b.bench("generator_stream/sqlsmith_1k", || {
+        let mut gen = SqlsmithLite::new(&mysql, 3);
+        let mut n = 0usize;
+        for _ in 0..1000 {
+            n += gen.next_statement().map(|s| s.len()).unwrap_or(0);
+        }
+        black_box(n)
     });
-    g.bench_function("sqlancer_1k", |bench| {
-        bench.iter(|| {
-            let mut gen = SqlancerLite::new(3);
-            let mut n = 0usize;
-            for _ in 0..1000 {
-                n += gen.next_statement().map(|s| s.len()).unwrap_or(0);
-            }
-            black_box(n)
-        })
+    b.bench("generator_stream/sqlancer_1k", || {
+        let mut gen = SqlancerLite::new(3);
+        let mut n = 0usize;
+        for _ in 0..1000 {
+            n += gen.next_statement().map(|s| s.len()).unwrap_or(0);
+        }
+        black_box(n)
     });
-    g.bench_function("squirrel_1k", |bench| {
-        bench.iter(|| {
-            let mut gen = SquirrelLite::new(&profile, 3);
-            let mut n = 0usize;
-            for _ in 0..1000 {
-                n += gen.next_statement().map(|s| s.len()).unwrap_or(0);
-            }
-            black_box(n)
-        })
+    b.bench("generator_stream/squirrel_1k", || {
+        let mut gen = SquirrelLite::new(&mysql, 3);
+        let mut n = 0usize;
+        for _ in 0..1000 {
+            n += gen.next_statement().map(|s| s.len()).unwrap_or(0);
+        }
+        black_box(n)
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_tools, bench_generator_streams);
-criterion_main!(benches);
+    b.finish();
+}

@@ -1,0 +1,237 @@
+//! A minimal in-tree timing harness — the workspace's `criterion`
+//! replacement, so `cargo bench` needs no external crates (README.md,
+//! "Hermetic build").
+//!
+//! Each measurement warms the closure up for a fixed wall-clock budget,
+//! then times batches of iterations (batched so that sub-microsecond
+//! closures are not dominated by timer overhead) and reports min / mean /
+//! median / p95 nanoseconds per iteration. `finish()` prints a table and
+//! writes `BENCH_<group>.json` next to the current directory (or into
+//! `$SOFT_BENCH_JSON_DIR`) so runs can be diffed across PRs.
+//!
+//! Environment knobs: `SOFT_BENCH_WARMUP_MS`, `SOFT_BENCH_MEASURE_MS`,
+//! `SOFT_BENCH_JSON_DIR`, and `SOFT_BENCH_JSON=0` to skip the JSON file.
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Statistics for one benchmark, in nanoseconds per iteration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Benchmark label, e.g. `decimal/parse_45_digits`.
+    pub label: String,
+    /// Total iterations measured (across all batches).
+    pub iters: u64,
+    /// Fastest batch, per iteration.
+    pub min_ns: f64,
+    /// Arithmetic mean over batches, per iteration.
+    pub mean_ns: f64,
+    /// Median batch, per iteration.
+    pub median_ns: f64,
+    /// 95th-percentile batch, per iteration.
+    pub p95_ns: f64,
+}
+
+/// One benchmark group: collects [`Sample`]s, then renders/serialises them.
+pub struct Bench {
+    group: String,
+    warmup: Duration,
+    measure: Duration,
+    samples: Vec<Sample>,
+}
+
+impl Bench {
+    /// Starts a group named like the bench binary (`substrates`, ...).
+    pub fn new(group: &str) -> Bench {
+        Bench {
+            group: group.to_string(),
+            warmup: Duration::from_millis(env_ms("SOFT_BENCH_WARMUP_MS", 50)),
+            measure: Duration::from_millis(env_ms("SOFT_BENCH_MEASURE_MS", 300)),
+            samples: Vec::new(),
+        }
+    }
+
+    /// Overrides the warmup budget (tests use tiny budgets).
+    pub fn warmup_ms(mut self, ms: u64) -> Bench {
+        self.warmup = Duration::from_millis(ms);
+        self
+    }
+
+    /// Overrides the measurement budget.
+    pub fn measure_ms(mut self, ms: u64) -> Bench {
+        self.measure = Duration::from_millis(ms);
+        self
+    }
+
+    /// Measures one closure and records its sample.
+    pub fn bench<R>(&mut self, label: &str, mut f: impl FnMut() -> R) -> &Sample {
+        // Warmup: also yields a cost estimate for batch sizing.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / warm_iters as f64).max(1.0);
+        // Size batches to ~200µs so per-batch timer error is < 0.1%, while
+        // keeping enough batches (aim ≥ 20) inside the measurement budget.
+        let batch = ((200_000.0 / est_ns).ceil() as u64).clamp(1, 1_000_000);
+        let mut per_iter_ns: Vec<f64> = Vec::new();
+        let mut iters = 0u64;
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure || per_iter_ns.len() < 20 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            per_iter_ns.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            iters += batch;
+            if per_iter_ns.len() >= 5_000 {
+                break;
+            }
+        }
+        per_iter_ns.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let n = per_iter_ns.len();
+        let sample = Sample {
+            label: label.to_string(),
+            iters,
+            min_ns: per_iter_ns[0],
+            mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
+            median_ns: per_iter_ns[n / 2],
+            p95_ns: per_iter_ns[(n * 95 / 100).min(n - 1)],
+        };
+        self.samples.push(sample);
+        self.samples.last().expect("just pushed")
+    }
+
+    /// The samples recorded so far.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Renders the results table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<44} {:>12} {:>12} {:>12} {:>12}\n",
+            format!("bench [{}]", self.group),
+            "median",
+            "p95",
+            "mean",
+            "min"
+        );
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:<44} {:>12} {:>12} {:>12} {:>12}\n",
+                s.label,
+                fmt_ns(s.median_ns),
+                fmt_ns(s.p95_ns),
+                fmt_ns(s.mean_ns),
+                fmt_ns(s.min_ns),
+            ));
+        }
+        out
+    }
+
+    /// Serialises the samples as a `BENCH_<group>.json` document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"group\": \"{}\",\n", self.group));
+        out.push_str("  \"results\": [\n");
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"label\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \
+                 \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}\n",
+                s.label.replace('"', "\\\""),
+                s.iters,
+                s.median_ns,
+                s.p95_ns,
+                s.mean_ns,
+                s.min_ns,
+                if i + 1 < self.samples.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Prints the table and writes the JSON artifact.
+    pub fn finish(self) {
+        print!("{}", self.render());
+        if std::env::var("SOFT_BENCH_JSON").as_deref() == Ok("0") {
+            return;
+        }
+        let dir = std::env::var("SOFT_BENCH_JSON_DIR").unwrap_or_else(|_| ".".into());
+        let path = std::path::Path::new(&dir).join(format!("BENCH_{}.json", self.group));
+        match std::fs::write(&path, self.to_json()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn env_ms(name: &str, default: u64) -> u64 {
+    std::env::var(name).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Bench {
+        Bench::new("selftest").warmup_ms(1).measure_ms(5)
+    }
+
+    #[test]
+    fn measures_and_orders_statistics() {
+        let mut b = tiny();
+        let s = b.bench("busy_loop", || {
+            let mut acc = 0u64;
+            for i in 0..100u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(s.iters > 0);
+        assert!(s.min_ns > 0.0);
+        assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p95_ns);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough_to_round_trip_labels() {
+        let mut b = tiny();
+        b.bench("a/first", || 1);
+        b.bench("b/second", || 2);
+        let json = b.to_json();
+        assert!(json.contains("\"group\": \"selftest\""));
+        assert!(json.contains("\"label\": \"a/first\""));
+        assert!(json.contains("\"median_ns\""));
+        // Of the two entries, only the first is comma-terminated.
+        assert_eq!(json.matches("},\n").count(), 1);
+        assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn render_lists_every_sample() {
+        let mut b = tiny();
+        b.bench("one", || 1);
+        b.bench("two", || 2);
+        let table = b.render();
+        assert!(table.contains("one") && table.contains("two"));
+    }
+}

@@ -7,6 +7,8 @@
 
 pub mod ablation;
 pub mod comparison;
+pub mod harness;
 
 pub use ablation::{render_ablation, run_ablation, AblationResult};
 pub use comparison::{check_shape, render_metric, run_comparison, Tool, ToolResult};
+pub use harness::{Bench, Sample};

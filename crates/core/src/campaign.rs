@@ -34,7 +34,10 @@ impl Default for CampaignConfig {
 }
 
 /// The pattern application order; interleaved round-robin at execution.
-const PATTERN_ORDER: [PatternId; 9] = [
+/// Must list all ten patterns — the default campaign claims to apply every
+/// pattern, and `PatternId::ALL`-based regression tests hold it to that.
+const PATTERN_ORDER: [PatternId; 10] = [
+    PatternId::P1_1,
     PatternId::P1_2,
     PatternId::P1_3,
     PatternId::P1_4,
@@ -138,6 +141,7 @@ pub fn run_soft(profile: &DialectProfile, config: &CampaignConfig) -> CampaignRe
         Some(ps) => PATTERN_ORDER.iter().copied().filter(|p| ps.contains(p)).collect(),
     };
     let mut per_pattern: Vec<Vec<GeneratedCase>> = Vec::with_capacity(active.len());
+    let mut generated_per_pattern: Vec<(PatternId, usize)> = Vec::with_capacity(active.len());
     for pattern in active {
         // The cross-function patterns need wider per-seed budgets: their
         // search space is (seed × donor), not (seed × pool).
@@ -150,6 +154,7 @@ pub fn run_soft(profile: &DialectProfile, config: &CampaignConfig) -> CampaignRe
         for (si, seed) in collection.seeds.iter().enumerate() {
             patterns::apply_salted(pattern, seed, &ctx, cap, si, &mut cases);
         }
+        generated_per_pattern.push((pattern, cases.len()));
         per_pattern.push(cases);
     }
     let mut cursors = vec![0usize; per_pattern.len()];
@@ -191,6 +196,7 @@ pub fn run_soft(profile: &DialectProfile, config: &CampaignConfig) -> CampaignRe
         errors,
         functions_triggered: engine.coverage().functions_triggered(),
         branches_covered: engine.coverage().branches_covered(),
+        generated_per_pattern,
     }
 }
 
@@ -258,6 +264,8 @@ pub fn run_generator(
         errors,
         functions_triggered: engine.coverage().functions_triggered(),
         branches_covered: engine.coverage().branches_covered(),
+        // External generators are not pattern-based.
+        generated_per_pattern: Vec::new(),
     }
 }
 

@@ -172,7 +172,38 @@ pub fn apply_salted(
     };
     match pattern {
         PatternId::P1_1 => {
-            // The pool itself is not a statement generator.
+            // Direct boundary probing: the pool value *is* the argument
+            // vector. Every argument of a collected call is replaced by the
+            // same boundary literal at once — the paper's "simple boundary
+            // argument" in its purest form, distinct from P1.2's one-
+            // argument-at-a-time substitution.
+            let nfuncs = visit::collect_function_exprs(seed).len();
+            'outer: for fi in 0..nfuncs {
+                for b in &ctx.pool {
+                    let mut s = seed.clone();
+                    let mut applied = false;
+                    let replaced = visit::replace_function_expr(&mut s, fi, |orig| {
+                        let mut f = orig.clone();
+                        if !f.args.is_empty() {
+                            for a in f.args.iter_mut() {
+                                *a = b.clone();
+                            }
+                            applied = true;
+                        }
+                        Expr::Function(f)
+                    });
+                    if !replaced || !applied || visit::max_function_nesting(&s) > 2 {
+                        continue;
+                    }
+                    if s.to_string() == seed.to_string() {
+                        continue;
+                    }
+                    push(out, s);
+                    if out.len() - start >= cap {
+                        break 'outer;
+                    }
+                }
+            }
         }
         PatternId::P1_2 => {
             'outer: for (fi, ai) in call_sites(seed) {
@@ -431,6 +462,17 @@ mod tests {
         let mut out = Vec::new();
         apply(pattern, &seed(sql), &ctx(), 1000, &mut out);
         out.iter().map(|c| c.sql.clone()).collect()
+    }
+
+    #[test]
+    fn p1_1_probes_whole_argument_vectors() {
+        let cases = gen(PatternId::P1_1, "SELECT f('abc', 1)");
+        // One case per pool literal: both arguments replaced at once.
+        assert_eq!(cases.len(), pool::boundary_literals().len());
+        assert!(cases.contains(&"SELECT f(NULL, NULL)".to_string()));
+        assert!(cases.contains(&"SELECT f('', '')".to_string()));
+        // P1.2's partial substitutions must NOT appear.
+        assert!(!cases.contains(&"SELECT f(NULL, 1)".to_string()));
     }
 
     #[test]

@@ -6,7 +6,7 @@ use soft_types::category::FunctionCategory;
 use std::collections::BTreeMap;
 
 /// One discovered bug.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BugFinding {
     /// The fault's stable id (dedup key).
     pub fault_id: String,
@@ -33,7 +33,7 @@ pub struct BugFinding {
 }
 
 /// The result of one campaign against one target.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
     /// Target tested.
     pub dialect: DialectId,
@@ -49,6 +49,12 @@ pub struct CampaignReport {
     pub functions_triggered: usize,
     /// Branches covered in the function component (Table 6 metric).
     pub branches_covered: usize,
+    /// Cases generated per pattern before dedup/budgeting, in application
+    /// order — empty for non-pattern generators ([`run_generator`] runs).
+    /// Guards against a pattern silently dropping out of the campaign.
+    ///
+    /// [`run_generator`]: crate::campaign::run_generator
+    pub generated_per_pattern: Vec<(PatternId, usize)>,
 }
 
 impl CampaignReport {
@@ -184,6 +190,7 @@ mod tests {
             errors: 5,
             functions_triggered: 40,
             branches_covered: 900,
+            generated_per_pattern: vec![(PatternId::P1_1, 10), (PatternId::P1_2, 40)],
         }
     }
 

@@ -1,0 +1,282 @@
+//! A seedable, dependency-free PRNG for the whole workspace.
+//!
+//! Every source of randomness in the reproduction flows through [`Rng`]: a
+//! xoshiro256\*\* core seeded via SplitMix64, the combination recommended by
+//! the xoshiro authors (Blackman & Vigna, "Scrambled linear pseudorandom
+//! number generators"). The generator is *not* cryptographic — it exists so
+//! that campaigns, baselines and property tests are reproducible from a
+//! single `u64` seed with no external crates, which is what makes benchmark
+//! deltas between PRs trustworthy (see README.md, "Hermetic build").
+//!
+//! # Examples
+//!
+//! ```
+//! use soft_rng::Rng;
+//!
+//! let mut rng = Rng::seed_from_u64(42);
+//! let die = rng.gen_range(1..7i64);
+//! assert!((1..7).contains(&die));
+//! let coin = rng.gen_bool(0.5);
+//! let _ = coin;
+//! // Identical seeds give identical streams.
+//! assert_eq!(
+//!     Rng::seed_from_u64(7).next_u64(),
+//!     Rng::seed_from_u64(7).next_u64(),
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod prop;
+
+use std::ops::Range;
+
+/// The workspace PRNG: xoshiro256\*\* seeded through SplitMix64.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+/// One SplitMix64 step — used for seeding and for deriving sub-seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Builds a generator from a 64-bit seed.
+    ///
+    /// The four state words are drawn from a SplitMix64 stream, which
+    /// guarantees a non-zero, well-mixed state for every seed (an all-zero
+    /// state would be a fixed point of the xoshiro transition).
+    pub fn seed_from_u64(seed: u64) -> Rng {
+        let mut sm = seed;
+        Rng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// The next 64 uniformly random bits (the xoshiro256\*\* output).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// A uniform `u64` below `bound` (`bound > 0`), via Lemire's widening
+    /// multiply. The modulo bias is at most 2⁻⁶⁴ per draw — irrelevant for
+    /// test generation, and crucially *deterministic*.
+    #[inline]
+    fn bounded(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// A uniform float in `[0, 1)` with 53 random bits.
+    #[inline]
+    pub fn gen_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform sample from a half-open range. Works for every primitive
+    /// integer type and `f64`; panics on an empty range, like `rand`.
+    #[inline]
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen_unit_f64() < p
+    }
+
+    /// A uniformly chosen element, or `None` for an empty slice.
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            let idx = self.bounded(slice.len() as u64) as usize;
+            Some(&slice[idx])
+        }
+    }
+
+    /// An in-place Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.bounded(i as u64 + 1) as usize;
+            slice.swap(i, j);
+        }
+    }
+
+    /// Derives an independent generator (for splitting one seed across
+    /// sub-tasks without correlating their streams).
+    pub fn fork(&mut self) -> Rng {
+        Rng::seed_from_u64(self.next_u64())
+    }
+}
+
+/// Types [`Rng::gen_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample.
+    fn sample(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                // Span arithmetic in the unsigned domain so that ranges
+                // straddling zero (e.g. -50..50) cannot overflow.
+                let span = (self.end as i128).wrapping_sub(self.start as i128) as u128;
+                let draw = if span <= u64::MAX as u128 {
+                    u128::from(rng.bounded(span as u64))
+                } else {
+                    // i128 ranges wider than 2^64: reduce 128 random bits
+                    // modulo the span (bias < 2^-64, and deterministic).
+                    let wide = (u128::from(rng.next_u64()) << 64) | u128::from(rng.next_u64());
+                    wide % span
+                };
+                ((self.start as i128).wrapping_add(draw as i128)) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, i128);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.gen_unit_f64() * (self.end - self.start)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_vector_xoshiro256ss() {
+        // First outputs for the state {1, 2, 3, 4} (the published reference
+        // sequence for xoshiro256**).
+        let mut rng = Rng { s: [1, 2, 3, 4] };
+        let got: Vec<u64> = (0..5).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            got,
+            vec![11520, 0, 1509978240, 1215971899390074240, 1216172134540287360]
+        );
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let a: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(99);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(99);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        let c: Vec<u64> = {
+            let mut r = Rng::seed_from_u64(100);
+            (0..32).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_for_all_int_shapes() {
+        let mut rng = Rng::seed_from_u64(3);
+        for _ in 0..2000 {
+            assert!((0..6).contains(&rng.gen_range(0..6)));
+            assert!((0..100i64).contains(&rng.gen_range(0..100i64)));
+            assert!((-50..0i64).contains(&rng.gen_range(-50..0i64)));
+            assert!((1..6usize).contains(&rng.gen_range(1..6usize)));
+            assert!((0..26u8).contains(&rng.gen_range(0..26u8)));
+            let big = rng.gen_range(-10_000_000_000i128..10_000_000_000);
+            assert!((-10_000_000_000..10_000_000_000).contains(&big));
+            let f = rng.gen_range(0.0..10.0f64);
+            assert!((0.0..10.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_single_value_range() {
+        let mut rng = Rng::seed_from_u64(5);
+        assert_eq!(rng.gen_range(7..8i64), 7);
+    }
+
+    #[test]
+    fn gen_range_hits_both_endpoints_of_a_small_range() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert_eq!(seen, [true; 4]);
+    }
+
+    #[test]
+    fn gen_bool_respects_probability_roughly() {
+        let mut rng = Rng::seed_from_u64(8);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn choose_and_shuffle_are_deterministic_permutations() {
+        let mut rng = Rng::seed_from_u64(21);
+        assert_eq!(rng.choose::<u8>(&[]), None);
+        let items = [10, 20, 30];
+        for _ in 0..50 {
+            assert!(items.contains(rng.choose(&items).unwrap()));
+        }
+        let mut v: Vec<u32> = (0..16).collect();
+        let mut w = v.clone();
+        Rng::seed_from_u64(77).shuffle(&mut v);
+        Rng::seed_from_u64(77).shuffle(&mut w);
+        assert_eq!(v, w);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..16).collect::<Vec<u32>>());
+        assert_ne!(v, sorted, "16 elements should not shuffle to identity");
+    }
+
+    #[test]
+    fn forked_generators_diverge() {
+        let mut base = Rng::seed_from_u64(1);
+        let mut f1 = base.fork();
+        let mut f2 = base.fork();
+        let a: Vec<u64> = (0..8).map(|_| f1.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| f2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+}

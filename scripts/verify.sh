@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Hermetic verification: the whole workspace must build and test with the
+# network off and nothing but the in-tree crates. Run from anywhere.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+cargo test -q --offline --workspace
+
+echo "verify: OK (offline build + tests)"

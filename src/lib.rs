@@ -12,7 +12,9 @@
 //! * [`soft`] — the SOFT tool itself: collection, the ten boundary-value
 //!   generation patterns, and the campaign runner;
 //! * [`baselines`] — SQLsmith/SQLancer/SQUIRREL-lite for the comparison;
-//! * [`study`] — the 318-bug characteristic study with its analyses.
+//! * [`study`] — the 318-bug characteristic study with its analyses;
+//! * [`rng`] — the workspace's only randomness source (xoshiro256**) plus
+//!   the in-tree property-testing harness, keeping the build std-only.
 //!
 //! # Examples
 //!
@@ -37,5 +39,6 @@ pub use soft_core as soft;
 pub use soft_dialects as dialects;
 pub use soft_engine as engine;
 pub use soft_parser as parser;
+pub use soft_rng as rng;
 pub use soft_study as study;
 pub use soft_types as types;

@@ -1,0 +1,69 @@
+//! Regression tests for the campaign's pattern coverage and determinism.
+//!
+//! The seed of this repo silently ran nine of the ten patterns: `P1_1` was
+//! missing from the campaign's `PATTERN_ORDER`, so a default campaign never
+//! generated a single whole-vector boundary probe and the ablation's "P1"
+//! arm quietly meant "P1 minus P1.1". These tests pin the fix.
+
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::engine::fault::PatternId;
+use soft_repro::soft::campaign::{run_soft, CampaignConfig};
+
+fn config() -> CampaignConfig {
+    // Small statement budget: generation (what these tests observe) runs for
+    // every active pattern before budgeting, so the budget only bounds the
+    // execution phase.
+    CampaignConfig { max_statements: 4_000, per_seed_cap: 8, patterns: None }
+}
+
+/// A default campaign generates cases for all ten patterns — no pattern is
+/// silently dropped on the way from `PatternId::ALL` to the round-robin.
+#[test]
+fn default_campaign_generates_cases_for_all_ten_patterns() {
+    let profile = DialectProfile::build(DialectId::Postgres);
+    let report = run_soft(&profile, &config());
+
+    let reported: Vec<PatternId> =
+        report.generated_per_pattern.iter().map(|&(p, _)| p).collect();
+    for pattern in PatternId::ALL {
+        assert!(
+            reported.contains(&pattern),
+            "pattern {} missing from generated_per_pattern: {reported:?}",
+            pattern.label()
+        );
+    }
+    assert_eq!(report.generated_per_pattern.len(), PatternId::ALL.len());
+
+    for &(pattern, count) in &report.generated_per_pattern {
+        assert!(count > 0, "pattern {} generated zero cases", pattern.label());
+    }
+}
+
+/// The restriction knob still works: a restricted campaign reports exactly
+/// the requested patterns, in `PATTERN_ORDER` order.
+#[test]
+fn restricted_campaign_reports_only_requested_patterns() {
+    let profile = DialectProfile::build(DialectId::Postgres);
+    let cfg = CampaignConfig {
+        patterns: Some(vec![PatternId::P1_1, PatternId::P2_2]),
+        ..config()
+    };
+    let report = run_soft(&profile, &cfg);
+    let reported: Vec<PatternId> =
+        report.generated_per_pattern.iter().map(|&(p, _)| p).collect();
+    assert_eq!(reported, vec![PatternId::P1_1, PatternId::P2_2]);
+}
+
+/// Two campaigns with the same configuration produce identical reports —
+/// the whole `CampaignReport`, not just summary counters. This is the
+/// hermetic-build guarantee: no RNG, clock, or map-iteration order leaks
+/// into campaign results.
+#[test]
+fn same_seed_campaigns_produce_identical_reports() {
+    for id in [DialectId::Postgres, DialectId::Monetdb] {
+        let profile = DialectProfile::build(id);
+        let a = run_soft(&profile, &config());
+        let b = run_soft(&profile, &config());
+        assert_eq!(a, b, "campaign against {} is not deterministic", id.name());
+    }
+}

@@ -1,6 +1,12 @@
-//! Property-based tests over the core invariants (proptest).
+//! Property-based tests over the core invariants, on the in-tree
+//! deterministic harness (`soft_rng::prop`).
+//!
+//! The recorded counterexamples from the retired
+//! `tests/property.proptest-regressions` ledger are replayed explicitly via
+//! `Check::regressions` before any fresh generation.
 
-use proptest::prelude::*;
+use soft_rng::prop::{shrink_string, Check};
+use soft_rng::Rng;
 use soft_repro::engine::Engine;
 use soft_repro::types::decimal::Decimal;
 
@@ -8,167 +14,310 @@ fn i128_to_dec(v: i128) -> Decimal {
     Decimal::from_i128(v)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// Decimal integer arithmetic agrees with the i128 oracle.
-    #[test]
-    fn decimal_add_matches_i128(a in -10_000_000_000i128..10_000_000_000, b in -10_000_000_000i128..10_000_000_000) {
-        let d = i128_to_dec(a).checked_add(&i128_to_dec(b)).unwrap();
-        prop_assert_eq!(d.to_string(), (a + b).to_string());
-    }
-
-    #[test]
-    fn decimal_mul_matches_i128(a in -1_000_000i128..1_000_000, b in -1_000_000i128..1_000_000) {
-        let d = i128_to_dec(a).checked_mul(&i128_to_dec(b)).unwrap();
-        prop_assert_eq!(d.to_string(), (a * b).to_string());
-    }
-
-    #[test]
-    fn decimal_rem_matches_i128(a in -1_000_000i128..1_000_000, b in 1i128..10_000) {
-        let d = i128_to_dec(a).checked_rem(&i128_to_dec(b)).unwrap();
-        prop_assert_eq!(d.to_string(), (a % b).to_string());
-    }
-
-    /// Decimal parse/display round-trips through canonical text.
-    #[test]
-    fn decimal_string_roundtrip(int_digits in 1usize..30, frac_digits in 0usize..20, neg in any::<bool>(), seed in any::<u64>()) {
-        let mut state = seed;
-        let mut digit = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            (b'0' + ((state >> 33) % 10) as u8) as char
+/// A printable Unicode char, biased towards ASCII but covering multi-byte
+/// planes (the proptest `\PC` class these tests were written against).
+fn gen_char(rng: &mut Rng) -> char {
+    loop {
+        let cp = match rng.gen_range(0..10u32) {
+            0..=5 => rng.gen_range(0x20..0x7Fu32),
+            6 => rng.gen_range(0xA0..0x300u32),
+            7 => rng.gen_range(0x300..0x2000u32),
+            8 => rng.gen_range(0x2000..0xD800u32),
+            _ => rng.gen_range(0xE000..0x1_0000u32),
         };
-        let mut s = String::new();
-        if neg { s.push('-'); }
-        // Leading digit non-zero so the text is canonical.
-        s.push((b'1' + ((seed >> 7) % 9) as u8) as char);
-        for _ in 1..int_digits { s.push(digit()); }
-        if frac_digits > 0 {
-            s.push('.');
-            for _ in 0..frac_digits { s.push(digit()); }
-        }
-        let d: Decimal = s.parse().unwrap();
-        prop_assert_eq!(d.to_string(), s);
-    }
-
-    /// Decimal ordering is consistent with f64 ordering on small values.
-    #[test]
-    fn decimal_cmp_consistent_with_f64(a in -1000.0f64..1000.0, b in -1000.0f64..1000.0) {
-        let da = Decimal::from_f64(a).unwrap();
-        let db = Decimal::from_f64(b).unwrap();
-        if (a - b).abs() > 1e-6 {
-            prop_assert_eq!(da < db, a < b);
+        if let Some(c) = char::from_u32(cp) {
+            if !c.is_control() {
+                return c;
+            }
         }
     }
+}
 
-    /// JSON parse → serialize → parse is a fixpoint.
-    #[test]
-    fn json_roundtrip(depth in 0usize..4, seed in any::<u64>()) {
-        use soft_repro::types::json::{self, JsonValue};
-        fn build(depth: usize, state: &mut u64) -> JsonValue {
-            let mut next = || {
-                *state = state.wrapping_mul(6364136223846793005).wrapping_add(99991);
-                (*state >> 33) as usize
-            };
-            if depth == 0 {
-                match next() % 4 {
-                    0 => JsonValue::Null,
-                    1 => JsonValue::Bool(next() % 2 == 0),
-                    2 => JsonValue::Number((next() % 100000).to_string()),
-                    _ => JsonValue::String(format!("s{}", next() % 1000)),
-                }
+fn gen_text(rng: &mut Rng, max_len: usize) -> String {
+    let len = rng.gen_range(0..max_len + 1);
+    (0..len).map(|_| gen_char(rng)).collect()
+}
+
+fn gen_word(rng: &mut Rng, alphabet: &[u8], min_len: usize, max_len: usize) -> String {
+    let len = rng.gen_range(min_len..max_len + 1);
+    (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())] as char).collect()
+}
+
+/// Decimal integer arithmetic agrees with the i128 oracle.
+#[test]
+fn decimal_add_matches_i128() {
+    Check::new("decimal_add_matches_i128").run(
+        |rng| {
+            (
+                rng.gen_range(-10_000_000_000i128..10_000_000_000),
+                rng.gen_range(-10_000_000_000i128..10_000_000_000),
+            )
+        },
+        |&(a, b)| {
+            let d = i128_to_dec(a).checked_add(&i128_to_dec(b)).unwrap();
+            if d.to_string() == (a + b).to_string() {
+                Ok(())
             } else {
-                match next() % 2 {
-                    0 => JsonValue::Array((0..next() % 4).map(|_| build(depth - 1, state)).collect()),
-                    _ => JsonValue::Object(
-                        (0..next() % 4).map(|i| (format!("k{i}"), build(depth - 1, state))).collect(),
-                    ),
+                Err(format!("{a} + {b} gave {d}"))
+            }
+        },
+    );
+}
+
+#[test]
+fn decimal_mul_matches_i128() {
+    Check::new("decimal_mul_matches_i128").run(
+        |rng| (rng.gen_range(-1_000_000i128..1_000_000), rng.gen_range(-1_000_000i128..1_000_000)),
+        |&(a, b)| {
+            let d = i128_to_dec(a).checked_mul(&i128_to_dec(b)).unwrap();
+            if d.to_string() == (a * b).to_string() {
+                Ok(())
+            } else {
+                Err(format!("{a} * {b} gave {d}"))
+            }
+        },
+    );
+}
+
+#[test]
+fn decimal_rem_matches_i128() {
+    Check::new("decimal_rem_matches_i128").run(
+        |rng| (rng.gen_range(-1_000_000i128..1_000_000), rng.gen_range(1i128..10_000)),
+        |&(a, b)| {
+            let d = i128_to_dec(a).checked_rem(&i128_to_dec(b)).unwrap();
+            if d.to_string() == (a % b).to_string() {
+                Ok(())
+            } else {
+                Err(format!("{a} % {b} gave {d}"))
+            }
+        },
+    );
+}
+
+/// Decimal parse/display round-trips through canonical text.
+#[test]
+fn decimal_string_roundtrip() {
+    Check::new("decimal_string_roundtrip").run(
+        |rng| {
+            let int_digits = rng.gen_range(1usize..30);
+            let frac_digits = rng.gen_range(0usize..20);
+            let neg = rng.gen_bool(0.5);
+            let seed = rng.next_u64();
+            let mut state = seed;
+            let mut digit = || {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                (b'0' + ((state >> 33) % 10) as u8) as char
+            };
+            let mut s = String::new();
+            if neg {
+                s.push('-');
+            }
+            // Leading digit non-zero so the text is canonical.
+            s.push((b'1' + ((seed >> 7) % 9) as u8) as char);
+            for _ in 1..int_digits {
+                s.push(digit());
+            }
+            if frac_digits > 0 {
+                s.push('.');
+                for _ in 0..frac_digits {
+                    s.push(digit());
                 }
             }
+            s
+        },
+        |s| {
+            let d: Decimal = s.parse().unwrap();
+            if d.to_string() == *s {
+                Ok(())
+            } else {
+                Err(format!("parsed back as {d}"))
+            }
+        },
+    );
+}
+
+/// Decimal ordering is consistent with f64 ordering on small values.
+#[test]
+fn decimal_cmp_consistent_with_f64() {
+    Check::new("decimal_cmp_consistent_with_f64").run(
+        |rng| (rng.gen_range(-1000.0f64..1000.0), rng.gen_range(-1000.0f64..1000.0)),
+        |&(a, b)| {
+            let da = Decimal::from_f64(a).unwrap();
+            let db = Decimal::from_f64(b).unwrap();
+            if (a - b).abs() > 1e-6 && (da < db) != (a < b) {
+                return Err(format!("cmp({da}, {db}) disagrees with cmp({a}, {b})"));
+            }
+            Ok(())
+        },
+    );
+}
+
+/// JSON parse → serialize → parse is a fixpoint.
+#[test]
+fn json_roundtrip() {
+    use soft_repro::types::json::{self, JsonValue};
+    fn build(depth: usize, state: &mut u64) -> JsonValue {
+        let mut next = || {
+            *state = state.wrapping_mul(6364136223846793005).wrapping_add(99991);
+            (*state >> 33) as usize
+        };
+        if depth == 0 {
+            match next() % 4 {
+                0 => JsonValue::Null,
+                1 => JsonValue::Bool(next() % 2 == 0),
+                2 => JsonValue::Number((next() % 100000).to_string()),
+                _ => JsonValue::String(format!("s{}", next() % 1000)),
+            }
+        } else {
+            match next() % 2 {
+                0 => JsonValue::Array((0..next() % 4).map(|_| build(depth - 1, state)).collect()),
+                _ => JsonValue::Object(
+                    (0..next() % 4).map(|i| (format!("k{i}"), build(depth - 1, state))).collect(),
+                ),
+            }
         }
-        let mut state = seed;
-        let v = build(depth, &mut state);
-        let text = v.to_json_string();
-        let re = json::parse(&text).unwrap();
-        prop_assert_eq!(re, v);
     }
+    Check::new("json_roundtrip").run(
+        |rng| (rng.gen_range(0usize..4), rng.next_u64()),
+        |&(depth, seed)| {
+            let mut state = seed;
+            let v = build(depth, &mut state);
+            let text = v.to_json_string();
+            match json::parse(&text) {
+                Ok(re) if re == v => Ok(()),
+                Ok(re) => Err(format!("reparsed {text} as {re:?}")),
+                Err(e) => Err(format!("failed to reparse {text}: {e:?}")),
+            }
+        },
+    );
+}
 
-    /// The parser's printer is an inverse: parse(print(parse(sql))) == parse(sql).
-    #[test]
-    fn parser_print_roundtrip(n in 0usize..5, s in "[a-z]{1,6}", num in 0i64..100000) {
-        let candidates = [
-            format!("SELECT {num} + LENGTH('{s}')"),
-            format!("SELECT f{n}('{s}', {num}, NULL)"),
-            format!("SELECT UPPER('{s}') FROM t WHERE a > {num} ORDER BY a LIMIT {}", n + 1),
-            format!("SELECT CAST({num} AS TEXT) UNION SELECT '{s}'"),
-            format!("SELECT CASE WHEN a = {num} THEN '{s}' ELSE NULL END FROM t"),
-        ];
-        for sql in candidates {
-            let s1 = soft_repro::parser::parse_statement(&sql).unwrap();
-            let printed = s1.to_string();
-            let s2 = soft_repro::parser::parse_statement(&printed).unwrap();
-            prop_assert_eq!(s1, s2);
-        }
-    }
+/// The parser's printer is an inverse: parse(print(parse(sql))) == parse(sql).
+#[test]
+fn parser_print_roundtrip() {
+    Check::new("parser_print_roundtrip").run(
+        |rng| {
+            (
+                rng.gen_range(0usize..5),
+                gen_word(rng, b"abcdefghijklmnopqrstuvwxyz", 1, 6),
+                rng.gen_range(0i64..100000),
+            )
+        },
+        |(n, s, num)| {
+            let candidates = [
+                format!("SELECT {num} + LENGTH('{s}')"),
+                format!("SELECT f{n}('{s}', {num}, NULL)"),
+                format!("SELECT UPPER('{s}') FROM t WHERE a > {num} ORDER BY a LIMIT {}", n + 1),
+                format!("SELECT CAST({num} AS TEXT) UNION SELECT '{s}'"),
+                format!("SELECT CASE WHEN a = {num} THEN '{s}' ELSE NULL END FROM t"),
+            ];
+            for sql in candidates {
+                let s1 = soft_repro::parser::parse_statement(&sql).unwrap();
+                let printed = s1.to_string();
+                let s2 = soft_repro::parser::parse_statement(&printed).unwrap();
+                if s1 != s2 {
+                    return Err(format!("{sql} printed as {printed} parses differently"));
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    /// The engine never panics: arbitrary byte soup either errors or runs.
-    #[test]
-    fn engine_never_panics_on_garbage(sql in "\\PC{0,80}") {
-        let mut e = Engine::with_default_functions(Default::default());
-        let _ = e.execute(&sql);
-    }
-
-    /// The engine never panics on function calls with wild arguments, and a
-    /// fault-free engine never reports a crash.
-    #[test]
-    fn reference_engine_never_crashes(
-        name in "[a-z_]{2,12}",
-        arg1 in "\\PC{0,20}",
-        n in any::<i64>(),
-    ) {
-        let mut e = Engine::with_default_functions(Default::default());
-        let arg1 = arg1.replace('\'', "");
-        for sql in [
-            format!("SELECT {name}('{arg1}')"),
-            format!("SELECT {name}({n})"),
-            format!("SELECT {name}('{arg1}', {n})"),
-            format!("SELECT UPPER({name}(NULL))"),
-        ] {
-            let out = e.execute(&sql);
-            prop_assert!(!out.is_crash(), "{} crashed: {:?}", sql, out);
-        }
-    }
-
-    /// Boundary pool values never break the *parser* when substituted
-    /// anywhere a generated statement puts them.
-    #[test]
-    fn generated_cases_always_reparse(idx in 0usize..24) {
-        let pool = soft_repro::soft::pool::boundary_literals();
-        let b = &pool[idx % pool.len()];
-        let sql = format!("SELECT f({b}, g({b}))");
-        let stmt = soft_repro::parser::parse_statement(&sql).unwrap();
-        prop_assert_eq!(
-            soft_repro::parser::parse_statement(&stmt.to_string()).unwrap(),
-            stmt
+/// The engine never panics: arbitrary byte soup either errors or runs.
+#[test]
+fn engine_never_panics_on_garbage() {
+    Check::new("engine_never_panics_on_garbage")
+        // From the retired proptest-regressions ledger: an unterminated
+        // string whose escape swallows a multi-byte char.
+        .regressions(["'\\\u{FFFC}".to_string()])
+        .shrink(|s| shrink_string(s))
+        .run(
+            |rng| gen_text(rng, 80),
+            |sql| {
+                let mut e = Engine::with_default_functions(Default::default());
+                let _ = e.execute(sql);
+                Ok(())
+            },
         );
-    }
+}
 
-    /// Casting is total: it returns Ok or Err but never panics, for every
-    /// (value, target) pair.
-    #[test]
-    fn casting_is_total(n in any::<i64>(), s in "\\PC{0,24}", t in 0usize..15) {
-        use soft_repro::types::prelude::*;
-        use soft_repro::types::cast;
-        let targets = DataType::CASTABLE;
-        let to = targets[t % targets.len()];
-        for v in [Value::Integer(n), Value::Text(s.clone()), Value::Null, Value::Star] {
-            for mode in [CastMode::Explicit, CastMode::Implicit] {
-                for strict in [CastStrictness::Strict, CastStrictness::Lenient] {
-                    let _ = cast::cast(&v, to, mode, strict, &CastLimits::default());
+/// The engine never panics on function calls with wild arguments, and a
+/// fault-free engine never reports a crash.
+#[test]
+fn reference_engine_never_crashes() {
+    Check::new("reference_engine_never_crashes")
+        // From the retired proptest-regressions ledger: a backslash escape
+        // ending the literal just before the closing quote.
+        .regressions([("a_".to_string(), "\\\u{1940}".to_string(), 0i64)])
+        .run(
+            |rng| {
+                (
+                    gen_word(rng, b"abcdefghijklmnopqrstuvwxyz_", 2, 12),
+                    gen_text(rng, 20),
+                    rng.next_u64() as i64,
+                )
+            },
+            |(name, arg1, n)| {
+                let mut e = Engine::with_default_functions(Default::default());
+                let arg1 = arg1.replace('\'', "");
+                for sql in [
+                    format!("SELECT {name}('{arg1}')"),
+                    format!("SELECT {name}({n})"),
+                    format!("SELECT {name}('{arg1}', {n})"),
+                    format!("SELECT UPPER({name}(NULL))"),
+                ] {
+                    let out = e.execute(&sql);
+                    if out.is_crash() {
+                        return Err(format!("{sql} crashed: {out:?}"));
+                    }
+                }
+                Ok(())
+            },
+        );
+}
+
+/// Boundary pool values never break the *parser* when substituted
+/// anywhere a generated statement puts them.
+#[test]
+fn generated_cases_always_reparse() {
+    Check::new("generated_cases_always_reparse").run(
+        |rng| rng.gen_range(0usize..24),
+        |&idx| {
+            let pool = soft_repro::soft::pool::boundary_literals();
+            let b = &pool[idx % pool.len()];
+            let sql = format!("SELECT f({b}, g({b}))");
+            let stmt = soft_repro::parser::parse_statement(&sql).unwrap();
+            if soft_repro::parser::parse_statement(&stmt.to_string()).unwrap() == stmt {
+                Ok(())
+            } else {
+                Err(format!("{sql} does not reparse to itself"))
+            }
+        },
+    );
+}
+
+/// Casting is total: it returns Ok or Err but never panics, for every
+/// (value, target) pair.
+#[test]
+fn casting_is_total() {
+    Check::new("casting_is_total").run(
+        |rng| (rng.next_u64() as i64, gen_text(rng, 24), rng.gen_range(0usize..15)),
+        |(n, s, t)| {
+            use soft_repro::types::cast;
+            use soft_repro::types::prelude::*;
+            let targets = DataType::CASTABLE;
+            let to = targets[t % targets.len()];
+            for v in [Value::Integer(*n), Value::Text(s.clone()), Value::Null, Value::Star] {
+                for mode in [CastMode::Explicit, CastMode::Implicit] {
+                    for strict in [CastStrictness::Strict, CastStrictness::Lenient] {
+                        let _ = cast::cast(&v, to, mode, strict, &CastLimits::default());
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }
 
 #[test]
@@ -179,50 +328,49 @@ fn campaign_is_deterministic_across_runs() {
     let cfg = CampaignConfig { max_statements: 4_000, per_seed_cap: 8, patterns: None };
     let a = run_soft(&profile, &cfg);
     let b = run_soft(&profile, &cfg);
-    assert_eq!(a.statements_executed, b.statements_executed);
-    assert_eq!(a.branches_covered, b.branches_covered);
-    assert_eq!(a.functions_triggered, b.functions_triggered);
+    assert_eq!(a, b);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Ternary Logic Partitioning holds on the reference engine for random
-    /// predicates: the §8 correctness-oracle extension, used here as a deep
-    /// test of three-valued logic in the evaluator.
-    #[test]
-    fn tlp_holds_for_random_predicates(
-        col in 0usize..2,
-        cmp in 0usize..6,
-        lit in -3i64..8,
-        wrap in 0usize..4,
-        combine in 0usize..3,
-    ) {
-        use soft_repro::soft::extend::{tlp_check, TlpOutcome};
-        let mut e = Engine::with_default_functions(Default::default());
-        e.execute("CREATE TABLE p (a INTEGER, b TEXT)");
-        e.execute(
-            "INSERT INTO p VALUES (1, 'x'), (2, NULL), (NULL, 'y'), (4, 'z'), (0, ''), (NULL, NULL)",
-        );
-        let col = ["a", "b"][col];
-        let op = ["=", "<>", "<", "<=", ">", ">="][cmp];
-        let lhs = match wrap {
-            0 => col.to_string(),
-            1 => format!("COALESCE({col}, 0)"),
-            2 => format!("LENGTH({col})"),
-            _ => format!("ABS(COALESCE({col}, -1))"),
-        };
-        let base_pred = format!("{lhs} {op} {lit}");
-        let pred = match combine {
-            0 => base_pred,
-            1 => format!("{base_pred} AND a IS NOT NULL"),
-            _ => format!("{base_pred} OR b = 'x'"),
-        };
-        match tlp_check(&mut e, "SELECT a, b FROM p", &pred) {
-            TlpOutcome::Consistent | TlpOutcome::Inconclusive => {}
-            TlpOutcome::Violation(v) => {
-                prop_assert!(false, "TLP violation: {v:?}");
+/// Ternary Logic Partitioning holds on the reference engine for random
+/// predicates: the §8 correctness-oracle extension, used here as a deep
+/// test of three-valued logic in the evaluator.
+#[test]
+fn tlp_holds_for_random_predicates() {
+    use soft_repro::soft::extend::{tlp_check, TlpOutcome};
+    Check::new("tlp_holds_for_random_predicates").cases(64).run(
+        |rng| {
+            (
+                rng.gen_range(0usize..2),
+                rng.gen_range(0usize..6),
+                rng.gen_range(-3i64..8),
+                rng.gen_range(0usize..4),
+                rng.gen_range(0usize..3),
+            )
+        },
+        |&(col, cmp, lit, wrap, combine)| {
+            let mut e = Engine::with_default_functions(Default::default());
+            e.execute("CREATE TABLE p (a INTEGER, b TEXT)");
+            e.execute(
+                "INSERT INTO p VALUES (1, 'x'), (2, NULL), (NULL, 'y'), (4, 'z'), (0, ''), (NULL, NULL)",
+            );
+            let col = ["a", "b"][col];
+            let op = ["=", "<>", "<", "<=", ">", ">="][cmp];
+            let lhs = match wrap {
+                0 => col.to_string(),
+                1 => format!("COALESCE({col}, 0)"),
+                2 => format!("LENGTH({col})"),
+                _ => format!("ABS(COALESCE({col}, -1))"),
+            };
+            let base_pred = format!("{lhs} {op} {lit}");
+            let pred = match combine {
+                0 => base_pred,
+                1 => format!("{base_pred} AND a IS NOT NULL"),
+                _ => format!("{base_pred} OR b = 'x'"),
+            };
+            match tlp_check(&mut e, "SELECT a, b FROM p", &pred) {
+                TlpOutcome::Consistent | TlpOutcome::Inconclusive => Ok(()),
+                TlpOutcome::Violation(v) => Err(format!("TLP violation: {v:?}")),
             }
-        }
-    }
+        },
+    );
 }
