@@ -1,24 +1,47 @@
 //! The Table 4 experiment as a benchmark: a reduced-budget SOFT campaign
-//! per target, reporting bug-discovery work rates. The full-budget run is
-//! `repro table4`.
+//! per target, reporting bug-discovery work rates, plus the parallel-runner
+//! worker sweep (statements/sec at 1, 2, and 4 workers — the §7.1
+//! 128-core-testbed analogue). The full-budget run is `repro table4`.
 
 use soft_bench::Bench;
-use soft_core::campaign::{run_soft, CampaignConfig};
+use soft_core::campaign::{run_soft_parallel, CampaignConfig};
 use soft_dialects::{DialectId, DialectProfile};
 use std::hint::black_box;
 
 fn main() {
     let mut b = Bench::new("table4_campaign");
 
+    let cfg = CampaignConfig { max_statements: 2_000, per_seed_cap: 8, ..CampaignConfig::default() };
     for id in [DialectId::Monetdb, DialectId::Clickhouse, DialectId::Mariadb] {
         let profile = DialectProfile::build(id);
-        b.bench(&format!("table4_campaign/{}", id.name()), || {
-            let report = run_soft(
-                &profile,
-                &CampaignConfig { max_statements: 2_000, per_seed_cap: 8, patterns: None },
-            );
+        let statements = run_soft_parallel(&profile, &cfg, 1).statements_executed;
+        b.bench_items(&format!("table4_campaign/{}", id.name()), statements as u64, || {
+            let report = run_soft_parallel(&profile, &cfg, 1);
             black_box(report.findings.len())
         });
+    }
+
+    // Worker sweep: the same campaign at 1, 2, and 4 workers. The report is
+    // byte-identical across the sweep (the determinism-by-merge guarantee);
+    // only items_per_sec moves, and it scales with the host's core count.
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let sweep_cfg =
+        CampaignConfig { max_statements: 6_000, per_seed_cap: 8, ..CampaignConfig::default() };
+    let reference = run_soft_parallel(&profile, &sweep_cfg, 1);
+    for workers in [1usize, 2, 4] {
+        assert_eq!(
+            reference,
+            run_soft_parallel(&profile, &sweep_cfg, workers),
+            "worker count changed the campaign report"
+        );
+        b.bench_items(
+            &format!("table4_campaign/parallel/ClickHouse/workers{workers}"),
+            reference.statements_executed as u64,
+            || {
+                let report = run_soft_parallel(&profile, &sweep_cfg, workers);
+                black_box(report.findings.len())
+            },
+        );
     }
 
     // Building a profile includes corpus construction and witness synthesis.

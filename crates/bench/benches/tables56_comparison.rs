@@ -4,7 +4,7 @@
 
 use soft_baselines::{SqlancerLite, SqlsmithLite, SquirrelLite};
 use soft_bench::Bench;
-use soft_core::campaign::{run_generator, run_soft, CampaignConfig, StatementGenerator};
+use soft_core::campaign::{run_generator, run_soft_parallel, CampaignConfig, StatementGenerator};
 use soft_dialects::{DialectId, DialectProfile};
 use std::hint::black_box;
 
@@ -14,11 +14,9 @@ fn main() {
     let mut b = Bench::new("tables56_comparison");
 
     let profile = DialectProfile::build(DialectId::Postgres);
+    let cfg = CampaignConfig { max_statements: BUDGET, per_seed_cap: 8, ..CampaignConfig::default() };
     b.bench("tables56/soft", || {
-        let r = run_soft(
-            &profile,
-            &CampaignConfig { max_statements: BUDGET, per_seed_cap: 8, patterns: None },
-        );
+        let r = run_soft_parallel(&profile, &cfg, 1);
         black_box((r.functions_triggered, r.branches_covered))
     });
     b.bench("tables56/sqlsmith", || {

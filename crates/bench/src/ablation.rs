@@ -8,7 +8,7 @@
 //! at a time and measures the split — the ablation justifying why all ten
 //! patterns are needed.
 
-use soft_core::campaign::{run_soft, CampaignConfig};
+use soft_core::campaign::{run_campaign, CampaignConfig};
 use soft_dialects::{DialectId, DialectProfile};
 use soft_engine::PatternId;
 
@@ -62,12 +62,13 @@ pub fn run_ablation(budget: usize) -> Vec<AblationResult> {
             let mut by_group = [0usize; 3];
             for id in DialectId::ALL {
                 let profile = DialectProfile::build(id);
-                let report = run_soft(
+                let report = run_campaign(
                     &profile,
                     &CampaignConfig {
                         max_statements: budget,
                         per_seed_cap: 64,
                         patterns: Some(arm.patterns.clone()),
+                        ..CampaignConfig::default()
                     },
                 );
                 bugs_total += report.findings.len();
@@ -97,6 +98,7 @@ pub fn render_ablation(results: &[AblationResult]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use soft_core::campaign::run_soft;
 
     #[test]
     fn pattern_groups_partition_the_corpus() {
@@ -113,6 +115,7 @@ mod tests {
                     max_statements: budget,
                     per_seed_cap: 48,
                     patterns: Some(patterns),
+                    ..CampaignConfig::default()
                 },
             )
         };

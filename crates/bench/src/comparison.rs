@@ -7,7 +7,7 @@
 //! PostgreSQL/MySQL/MariaDB/ClickHouse, and SOFT everything.
 
 use soft_baselines::{SqlancerLite, SqlsmithLite, SquirrelLite};
-use soft_core::campaign::{run_generator, run_soft, CampaignConfig};
+use soft_core::campaign::{run_campaign, run_generator, CampaignConfig};
 use soft_dialects::{DialectId, DialectProfile};
 
 /// The tools compared.
@@ -88,9 +88,15 @@ pub fn run_comparison(budget: usize) -> Vec<ToolResult> {
                 continue;
             }
             let report = match tool {
-                Tool::Soft => run_soft(
+                // run_campaign shards across CampaignConfig::workers; the
+                // report is identical to the serial run by construction.
+                Tool::Soft => run_campaign(
                     &profile,
-                    &CampaignConfig { max_statements: budget, per_seed_cap: 64, patterns: None },
+                    &CampaignConfig {
+                        max_statements: budget,
+                        per_seed_cap: 64,
+                        ..CampaignConfig::default()
+                    },
                 ),
                 Tool::Sqlsmith => {
                     let mut g = SqlsmithLite::new(&profile, 0xBEEF);

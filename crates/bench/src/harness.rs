@@ -30,6 +30,17 @@ pub struct Sample {
     pub median_ns: f64,
     /// 95th-percentile batch, per iteration.
     pub p95_ns: f64,
+    /// Work items processed per iteration (e.g. statements per campaign),
+    /// when the benchmark declared a throughput via [`Bench::bench_items`].
+    pub items_per_iter: Option<f64>,
+}
+
+impl Sample {
+    /// Throughput in items per second, from the median time per iteration.
+    /// `None` unless the benchmark declared its items per iteration.
+    pub fn items_per_sec(&self) -> Option<f64> {
+        self.items_per_iter.filter(|_| self.median_ns > 0.0).map(|n| n / (self.median_ns / 1e9))
+    }
 }
 
 /// One benchmark group: collects [`Sample`]s, then renders/serialises them.
@@ -61,6 +72,17 @@ impl Bench {
     pub fn measure_ms(mut self, ms: u64) -> Bench {
         self.measure = Duration::from_millis(ms);
         self
+    }
+
+    /// Measures one closure and records its sample together with its
+    /// declared throughput: `items` work items are processed per iteration
+    /// (statements executed per campaign, rows per pipeline run, ...), so
+    /// the JSON artifact carries `items_per_sec` alongside the timings.
+    pub fn bench_items<R>(&mut self, label: &str, items: u64, f: impl FnMut() -> R) -> &Sample {
+        self.bench(label, f);
+        let sample = self.samples.last_mut().expect("just benched");
+        sample.items_per_iter = Some(items as f64);
+        sample
     }
 
     /// Measures one closure and records its sample.
@@ -102,6 +124,7 @@ impl Bench {
             mean_ns: per_iter_ns.iter().sum::<f64>() / n as f64,
             median_ns: per_iter_ns[n / 2],
             p95_ns: per_iter_ns[(n * 95 / 100).min(n - 1)],
+            items_per_iter: None,
         };
         self.samples.push(sample);
         self.samples.last().expect("just pushed")
@@ -141,15 +164,23 @@ impl Bench {
         out.push_str(&format!("  \"group\": \"{}\",\n", self.group));
         out.push_str("  \"results\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
+            let throughput = match s.items_per_sec() {
+                Some(rate) => format!(
+                    ", \"items_per_iter\": {:.0}, \"items_per_sec\": {rate:.1}",
+                    s.items_per_iter.unwrap_or(0.0)
+                ),
+                None => String::new(),
+            };
             out.push_str(&format!(
                 "    {{\"label\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \
-                 \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}}}{}\n",
+                 \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}{}}}{}\n",
                 s.label.replace('"', "\\\""),
                 s.iters,
                 s.median_ns,
                 s.p95_ns,
                 s.mean_ns,
                 s.min_ns,
+                throughput,
                 if i + 1 < self.samples.len() { "," } else { "" }
             ));
         }
@@ -224,6 +255,29 @@ mod tests {
         // Of the two entries, only the first is comma-terminated.
         assert_eq!(json.matches("},\n").count(), 1);
         assert!(json.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn items_throughput_is_recorded_and_serialised() {
+        let mut b = tiny();
+        let s = b.bench_items("campaign", 1_000, || {
+            let mut acc = 0u64;
+            for i in 0..500u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(s.items_per_iter, Some(1000.0));
+        let rate = s.items_per_sec().expect("throughput declared");
+        assert!(rate > 0.0);
+        b.bench("untimed", || 1);
+        let json = b.to_json();
+        assert!(json.contains("\"items_per_iter\": 1000"));
+        assert!(json.contains("\"items_per_sec\""));
+        // Only the throughput-declaring entry carries the fields.
+        assert_eq!(json.matches("items_per_sec").count(), 1);
+        // Still one comma-terminated entry of the two.
+        assert_eq!(json.matches("},\n").count(), 1);
     }
 
     #[test]

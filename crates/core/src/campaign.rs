@@ -7,13 +7,34 @@
 //! by fault id; after each crash the database is "restarted"
 //! ([`soft_engine::Engine::reset_database`]) and preparation replayed, the
 //! way the paper's harness restarts its DBMS containers.
+//!
+//! # Parallel execution
+//!
+//! The paper drives seven DBMSs concurrently on a 128-core testbed (§7.1);
+//! this runner exploits the same hardware through **seed sharding**. The
+//! campaign first *plans* the exact statement stream a serial run would
+//! execute (seeds, then the round-robin of pattern-generated cases, globally
+//! deduplicated and truncated at the budget), then partitions that stream
+//! into fixed-size shards. Every shard executes against a private [`Engine`]
+//! cloned from a prepared template, and a deterministic merge combines the
+//! shard results: findings are deduplicated by fault id in global statement
+//! order, counters are summed, and coverage sets are unioned.
+//!
+//! Because the shard decomposition depends only on the configuration — never
+//! on the worker count — [`run_soft_parallel`] produces a byte-identical
+//! [`CampaignReport`] for any number of workers, and [`run_soft`] (the
+//! serial reference) is simply the same plan executed inline. Parallelism
+//! changes wall-clock time, nothing else.
 
-use crate::collect;
+use crate::collect::{self, Collection};
 use crate::patterns::{self, GenCtx, GeneratedCase};
-use crate::report::{BugFinding, CampaignReport};
+use crate::report::{BugFinding, CampaignReport, ShardStats};
 use soft_dialects::DialectProfile;
-use soft_engine::{Engine, ExecOutcome, PatternId, SqlError};
+use soft_engine::{Coverage, Engine, ExecOutcome, PatternId, SqlError};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -25,12 +46,41 @@ pub struct CampaignConfig {
     /// Restrict generation to these patterns (None = all ten) — the
     /// ablation knob.
     pub patterns: Option<Vec<PatternId>>,
+    /// Worker threads for [`run_campaign`] (the parallel entry points take
+    /// an explicit count). Defaults to `std::thread::available_parallelism`;
+    /// `0` is treated as 1. The worker count never changes campaign results,
+    /// only wall-clock time.
+    pub workers: usize,
+    /// Per-shard statement budget: the planned statement stream is cut into
+    /// contiguous shards of this many statements, each executed on a private
+    /// engine. The shard size *is* part of the campaign's semantics (shard
+    /// boundaries reset session state), so two runs compare equal only under
+    /// the same `shard_statements`; the worker count is not.
+    pub shard_statements: usize,
 }
 
 impl Default for CampaignConfig {
     fn default() -> Self {
-        CampaignConfig { max_statements: 200_000, per_seed_cap: 64, patterns: None }
+        CampaignConfig {
+            max_statements: 200_000,
+            per_seed_cap: 64,
+            patterns: None,
+            workers: default_workers(),
+            shard_statements: 256,
+        }
     }
+}
+
+impl CampaignConfig {
+    /// The effective worker count (`workers`, floored at 1).
+    pub fn resolved_workers(&self) -> usize {
+        self.workers.max(1)
+    }
+}
+
+/// The machine's available parallelism (1 when it cannot be queried).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
 }
 
 /// The pattern application order; interleaved round-robin at execution.
@@ -49,38 +99,328 @@ const PATTERN_ORDER: [PatternId; 10] = [
     PatternId::P3_3,
 ];
 
-/// Runs a full SOFT campaign against one dialect profile.
+/// One statement of the planned campaign stream.
+#[derive(Debug, Clone)]
+struct PlannedCase {
+    sql: String,
+    /// `None` for phase-1 seed statements.
+    pattern: Option<PatternId>,
+}
+
+/// Per-shard wall-clock observability (not part of the deterministic
+/// report — see [`ShardStats`] for the merged, comparable counters).
+#[derive(Debug, Clone)]
+pub struct ShardTiming {
+    /// Shard index (global statement order).
+    pub shard: usize,
+    /// Statements the shard executed.
+    pub statements: usize,
+    /// Wall-clock nanoseconds the shard took.
+    pub nanos: u128,
+}
+
+impl ShardTiming {
+    /// The shard's execution rate.
+    pub fn statements_per_sec(&self) -> f64 {
+        if self.nanos == 0 {
+            return 0.0;
+        }
+        self.statements as f64 / (self.nanos as f64 / 1e9)
+    }
+}
+
+/// A campaign result with its wall-clock telemetry: the deterministic
+/// [`CampaignReport`] plus per-shard timings, which *do* vary run to run and
+/// are therefore kept out of the report's `PartialEq` surface.
+#[derive(Debug, Clone)]
+pub struct CampaignRun {
+    /// The deterministic campaign report (identical for any worker count).
+    pub report: CampaignReport,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// End-to-end wall-clock nanoseconds (collection + generation +
+    /// execution + merge).
+    pub wall_nanos: u128,
+    /// Per-shard timings, in shard order.
+    pub shard_timings: Vec<ShardTiming>,
+}
+
+impl CampaignRun {
+    /// Overall throughput in statements per second.
+    pub fn statements_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.report.statements_executed as f64 / (self.wall_nanos as f64 / 1e9)
+    }
+}
+
+/// Everything a shard produces; merged deterministically afterwards.
+struct ShardOutcome {
+    stats: ShardStats,
+    findings: Vec<BugFinding>,
+    coverage: Coverage,
+    nanos: u128,
+}
+
+/// Runs a full SOFT campaign against one dialect profile, serially — the
+/// reference semantics. Equivalent to [`run_soft_parallel`] with one worker
+/// (and byte-identical to it at *any* worker count).
 pub fn run_soft(profile: &DialectProfile, config: &CampaignConfig) -> CampaignReport {
+    run_soft_parallel(profile, config, 1)
+}
+
+/// Runs a campaign with the worker count taken from
+/// [`CampaignConfig::workers`].
+pub fn run_campaign(profile: &DialectProfile, config: &CampaignConfig) -> CampaignReport {
+    run_soft_parallel(profile, config, config.resolved_workers())
+}
+
+/// Runs a campaign with `n_workers` threads. The report is byte-identical
+/// for every worker count — parallelism must not change results, only
+/// wall-clock.
+pub fn run_soft_parallel(
+    profile: &DialectProfile,
+    config: &CampaignConfig,
+    n_workers: usize,
+) -> CampaignReport {
+    run_soft_parallel_timed(profile, config, n_workers).report
+}
+
+/// [`run_soft_parallel`] plus wall-clock telemetry (per-shard statements/sec
+/// for the bench JSON and observability surfaces).
+pub fn run_soft_parallel_timed(
+    profile: &DialectProfile,
+    config: &CampaignConfig,
+    n_workers: usize,
+) -> CampaignRun {
+    let t0 = Instant::now();
+    let workers = n_workers.max(1);
     let collection = collect::collect(profile);
     let ctx = GenCtx::new(&collection);
-    let mut engine = profile.engine();
+    let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
+
+    let (plan, generated_per_pattern) = build_plan(&collection, &ctx, config, workers);
+
+    // The shard template: a fresh engine with preparation replayed. Cloning
+    // it is exactly the state the serial runner re-creates after a crash
+    // ("restart the DBMS, replay preparation").
+    let mut template = profile.engine();
+    for sql in &prep {
+        let _ = template.execute(sql);
+    }
+
+    let shard_size = config.shard_statements.max(1);
+    let shards: Vec<(usize, usize)> = (0..plan.len())
+        .step_by(shard_size)
+        .map(|start| (start, shard_size.min(plan.len() - start)))
+        .collect();
+
+    let mut outcomes: Vec<ShardOutcome> = if workers == 1 || shards.len() <= 1 {
+        shards
+            .iter()
+            .enumerate()
+            .map(|(i, &(start, len))| {
+                run_shard(profile, &template, &prep, &plan[start..start + len], i, start)
+            })
+            .collect()
+    } else {
+        let next = AtomicUsize::new(0);
+        let done: Mutex<Vec<ShardOutcome>> = Mutex::new(Vec::with_capacity(shards.len()));
+        std::thread::scope(|scope| {
+            for _ in 0..workers.min(shards.len()) {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(start, len)) = shards.get(i) else { break };
+                    let outcome = run_shard(
+                        profile,
+                        &template,
+                        &prep,
+                        &plan[start..start + len],
+                        i,
+                        start,
+                    );
+                    done.lock().expect("shard results poisoned").push(outcome);
+                });
+            }
+        });
+        let mut v = done.into_inner().expect("shard results poisoned");
+        // Completion order is scheduler-dependent; merge order is not.
+        v.sort_by_key(|o| o.stats.shard);
+        v
+    };
+
+    // Deterministic merge: findings deduplicated by fault id in global
+    // statement order, counters summed, coverage unioned.
+    let mut findings: Vec<BugFinding> = Vec::new();
+    let mut found: HashSet<String> = HashSet::new();
+    let mut coverage = Coverage::new();
+    let mut stats: Vec<ShardStats> = Vec::with_capacity(outcomes.len());
+    let mut timings: Vec<ShardTiming> = Vec::with_capacity(outcomes.len());
     let mut statements = 0usize;
     let mut false_positives = 0usize;
     let mut errors = 0usize;
+    for outcome in &mut outcomes {
+        for f in outcome.findings.drain(..) {
+            if found.insert(f.fault_id.clone()) {
+                findings.push(f);
+            }
+        }
+        coverage.merge(&outcome.coverage);
+        statements += outcome.stats.statements;
+        false_positives += outcome.stats.false_positives;
+        errors += outcome.stats.errors;
+        timings.push(ShardTiming {
+            shard: outcome.stats.shard,
+            statements: outcome.stats.statements,
+            nanos: outcome.nanos,
+        });
+        stats.push(outcome.stats.clone());
+    }
+
+    let report = CampaignReport {
+        dialect: profile.id,
+        statements_executed: statements,
+        findings,
+        false_positives,
+        errors,
+        functions_triggered: coverage.functions_triggered(),
+        branches_covered: coverage.branches_covered(),
+        generated_per_pattern,
+        shards: stats,
+    };
+    CampaignRun { report, workers, wall_nanos: t0.elapsed().as_nanos(), shard_timings: timings }
+}
+
+/// Plans the exact statement stream the campaign executes: phase-1 seeds,
+/// then the round-robin over per-pattern generated cases, globally
+/// deduplicated and truncated at the budget. Pure — no engine involved — so
+/// the stream is identical however it is later sharded or scheduled.
+fn build_plan(
+    collection: &Collection,
+    ctx: &GenCtx,
+    config: &CampaignConfig,
+    workers: usize,
+) -> (Vec<PlannedCase>, Vec<(PatternId, usize)>) {
+    let mut plan: Vec<PlannedCase> = Vec::new();
+    let mut executed: HashSet<String> = HashSet::new();
+
+    // Phase 1: the seeds themselves (they should be crash-free, but they
+    // count toward the budget and they prime coverage).
+    for stmt in &collection.seeds {
+        if plan.len() >= config.max_statements {
+            break;
+        }
+        let sql = stmt.to_string();
+        if executed.insert(sql.clone()) {
+            plan.push(PlannedCase { sql, pattern: None });
+        }
+    }
+
+    // Phase 2: pattern-based generation, interleaved round-robin across
+    // patterns so every pattern gets budget share.
+    let active: Vec<PatternId> = match &config.patterns {
+        None => PATTERN_ORDER.to_vec(),
+        Some(ps) => PATTERN_ORDER.iter().copied().filter(|p| ps.contains(p)).collect(),
+    };
+    let per_pattern = generate_cases(collection, ctx, config, &active, workers);
+    let generated_per_pattern: Vec<(PatternId, usize)> =
+        active.iter().zip(&per_pattern).map(|(&p, cases)| (p, cases.len())).collect();
+
+    let mut cursors = vec![0usize; per_pattern.len()];
+    'outer: loop {
+        let mut progressed = false;
+        for (pi, cases) in per_pattern.iter().enumerate() {
+            if plan.len() >= config.max_statements {
+                break 'outer;
+            }
+            while cursors[pi] < cases.len() {
+                let case = &cases[cursors[pi]];
+                cursors[pi] += 1;
+                if executed.insert(case.sql.clone()) {
+                    plan.push(PlannedCase {
+                        sql: case.sql.clone(),
+                        pattern: Some(case.pattern),
+                    });
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    (plan, generated_per_pattern)
+}
+
+/// Generates every pattern's case vector. Each pattern is independent, so
+/// the vectors can be produced on worker threads; the output is positionally
+/// identical to the serial loop for any worker count.
+fn generate_cases(
+    collection: &Collection,
+    ctx: &GenCtx,
+    config: &CampaignConfig,
+    active: &[PatternId],
+    workers: usize,
+) -> Vec<Vec<GeneratedCase>> {
+    let generate_one = |pattern: PatternId| -> Vec<GeneratedCase> {
+        // The cross-function patterns need wider per-seed budgets: their
+        // search space is (seed × donor), not (seed × pool).
+        let cap = match pattern {
+            PatternId::P3_3 => config.per_seed_cap.max(640),
+            PatternId::P2_3 => config.per_seed_cap.max(128),
+            _ => config.per_seed_cap,
+        };
+        let mut cases = Vec::new();
+        for (si, seed) in collection.seeds.iter().enumerate() {
+            patterns::apply_salted(pattern, seed, ctx, cap, si, &mut cases);
+        }
+        cases
+    };
+    if workers <= 1 || active.len() <= 1 {
+        return active.iter().map(|&p| generate_one(p)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<GeneratedCase>)>> =
+        Mutex::new(Vec::with_capacity(active.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(active.len()) {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(&pattern) = active.get(i) else { break };
+                let cases = generate_one(pattern);
+                done.lock().expect("generation results poisoned").push((i, cases));
+            });
+        }
+    });
+    let mut v = done.into_inner().expect("generation results poisoned");
+    v.sort_by_key(|&(i, _)| i);
+    v.into_iter().map(|(_, cases)| cases).collect()
+}
+
+/// Executes one shard of the planned stream on a private engine cloned from
+/// the prepared template. Pure function of (profile, template, shard slice):
+/// no state is shared with other shards.
+fn run_shard(
+    profile: &DialectProfile,
+    template: &Engine,
+    prep: &[String],
+    cases: &[PlannedCase],
+    shard: usize,
+    start_offset: usize,
+) -> ShardOutcome {
+    let t0 = Instant::now();
+    let mut engine = template.clone();
     let mut found: HashSet<String> = HashSet::new();
     let mut findings: Vec<BugFinding> = Vec::new();
-
-    let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
-    let replay_prep = |engine: &mut Engine| {
-        for sql in &prep {
-            let _ = engine.execute(sql);
-        }
-    };
-    replay_prep(&mut engine);
-
-    // Phase 1: execute the seeds themselves (they should be crash-free, but
-    // they count toward the budget and they prime coverage).
-    let run_stmt = |engine: &mut Engine,
-                        sql: &str,
-                        pattern: Option<PatternId>,
-                        statements: &mut usize,
-                        false_positives: &mut usize,
-                        errors: &mut usize,
-                        findings: &mut Vec<BugFinding>,
-                        found: &mut HashSet<String>| {
-        *statements += 1;
-        match engine.execute(sql) {
+    let mut crashes = 0usize;
+    let mut false_positives = 0usize;
+    let mut errors = 0usize;
+    for (i, case) in cases.iter().enumerate() {
+        match engine.execute(&case.sql) {
             ExecOutcome::Crash(c) => {
+                crashes += 1;
                 if found.insert(c.fault_id.clone()) {
                     // Look up the corpus entry for ground-truth metadata.
                     let spec = profile
@@ -97,106 +437,36 @@ pub fn run_soft(profile: &DialectProfile, config: &CampaignConfig) -> CampaignRe
                             .map(|s| s.category)
                             .unwrap_or(soft_types::category::FunctionCategory::System),
                         credited_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
-                        found_by_pattern: pattern.unwrap_or(PatternId::P1_2),
+                        found_by_pattern: case.pattern.unwrap_or(PatternId::P1_2),
                         function: c.function.clone(),
-                        poc: sql.to_string(),
-                        statements_until_found: *statements,
+                        poc: case.sql.clone(),
+                        statements_until_found: start_offset + i + 1,
                         fixed: spec.map(|s| s.fixed).unwrap_or(false),
                     });
                 }
                 // "Restart" the DBMS and re-prepare.
                 engine.reset_database();
-                replay_prep(engine);
-            }
-            ExecOutcome::Error(SqlError::ResourceLimit(_)) => *false_positives += 1,
-            ExecOutcome::Error(_) => *errors += 1,
-            ExecOutcome::Rows(_) | ExecOutcome::Ok(_) => {}
-        }
-    };
-
-    let mut executed: HashSet<String> = HashSet::new();
-    for stmt in &collection.seeds {
-        if statements >= config.max_statements {
-            break;
-        }
-        let sql = stmt.to_string();
-        if executed.insert(sql.clone()) {
-            run_stmt(
-                &mut engine,
-                &sql,
-                None,
-                &mut statements,
-                &mut false_positives,
-                &mut errors,
-                &mut findings,
-                &mut found,
-            );
-        }
-    }
-
-    // Phase 2: pattern-based generation, interleaved round-robin across
-    // patterns so every pattern gets budget share.
-    let active: Vec<PatternId> = match &config.patterns {
-        None => PATTERN_ORDER.to_vec(),
-        Some(ps) => PATTERN_ORDER.iter().copied().filter(|p| ps.contains(p)).collect(),
-    };
-    let mut per_pattern: Vec<Vec<GeneratedCase>> = Vec::with_capacity(active.len());
-    let mut generated_per_pattern: Vec<(PatternId, usize)> = Vec::with_capacity(active.len());
-    for pattern in active {
-        // The cross-function patterns need wider per-seed budgets: their
-        // search space is (seed × donor), not (seed × pool).
-        let cap = match pattern {
-            PatternId::P3_3 => config.per_seed_cap.max(640),
-            PatternId::P2_3 => config.per_seed_cap.max(128),
-            _ => config.per_seed_cap,
-        };
-        let mut cases = Vec::new();
-        for (si, seed) in collection.seeds.iter().enumerate() {
-            patterns::apply_salted(pattern, seed, &ctx, cap, si, &mut cases);
-        }
-        generated_per_pattern.push((pattern, cases.len()));
-        per_pattern.push(cases);
-    }
-    let mut cursors = vec![0usize; per_pattern.len()];
-    'outer: loop {
-        let mut progressed = false;
-        for (pi, cases) in per_pattern.iter().enumerate() {
-            if statements >= config.max_statements {
-                break 'outer;
-            }
-            while cursors[pi] < cases.len() {
-                let case = &cases[cursors[pi]];
-                cursors[pi] += 1;
-                if executed.insert(case.sql.clone()) {
-                    run_stmt(
-                        &mut engine,
-                        &case.sql,
-                        Some(case.pattern),
-                        &mut statements,
-                        &mut false_positives,
-                        &mut errors,
-                        &mut findings,
-                        &mut found,
-                    );
-                    progressed = true;
-                    break;
+                for sql in prep {
+                    let _ = engine.execute(sql);
                 }
             }
-        }
-        if !progressed {
-            break;
+            ExecOutcome::Error(SqlError::ResourceLimit(_)) => false_positives += 1,
+            ExecOutcome::Error(_) => errors += 1,
+            ExecOutcome::Rows(_) | ExecOutcome::Ok(_) => {}
         }
     }
-
-    CampaignReport {
-        dialect: profile.id,
-        statements_executed: statements,
+    ShardOutcome {
+        stats: ShardStats {
+            shard,
+            start_offset,
+            statements: cases.len(),
+            crashes,
+            errors,
+            false_positives,
+        },
         findings,
-        false_positives,
-        errors,
-        functions_triggered: engine.coverage().functions_triggered(),
-        branches_covered: engine.coverage().branches_covered(),
-        generated_per_pattern,
+        coverage: engine.coverage().clone(),
+        nanos: t0.elapsed().as_nanos(),
     }
 }
 
@@ -266,6 +536,8 @@ pub fn run_generator(
         branches_covered: engine.coverage().branches_covered(),
         // External generators are not pattern-based.
         generated_per_pattern: Vec::new(),
+        // ... and they stream into a single engine, unsharded.
+        shards: Vec::new(),
     }
 }
 
@@ -277,7 +549,11 @@ mod tests {
     #[test]
     fn small_budget_campaign_is_deterministic() {
         let profile = DialectProfile::build(DialectId::Clickhouse);
-        let cfg = CampaignConfig { max_statements: 3_000, per_seed_cap: 8, patterns: None };
+        let cfg = CampaignConfig {
+            max_statements: 3_000,
+            per_seed_cap: 8,
+            ..CampaignConfig::default()
+        };
         let a = run_soft(&profile, &cfg);
         let b = run_soft(&profile, &cfg);
         assert_eq!(a.statements_executed, b.statements_executed);
@@ -290,7 +566,11 @@ mod tests {
     #[test]
     fn campaign_finds_bugs_in_clickhouse() {
         let profile = DialectProfile::build(DialectId::Clickhouse);
-        let cfg = CampaignConfig { max_statements: 60_000, per_seed_cap: 48, patterns: None };
+        let cfg = CampaignConfig {
+            max_statements: 60_000,
+            per_seed_cap: 48,
+            ..CampaignConfig::default()
+        };
         let report = run_soft(&profile, &cfg);
         assert!(
             !report.findings.is_empty(),
@@ -307,8 +587,63 @@ mod tests {
     #[test]
     fn budget_is_respected() {
         let profile = DialectProfile::build(DialectId::Monetdb);
-        let cfg = CampaignConfig { max_statements: 500, per_seed_cap: 4, patterns: None };
+        let cfg = CampaignConfig {
+            max_statements: 500,
+            per_seed_cap: 4,
+            ..CampaignConfig::default()
+        };
         let report = run_soft(&profile, &cfg);
         assert!(report.statements_executed <= 500);
+    }
+
+    #[test]
+    fn shard_stats_partition_the_stream() {
+        let profile = DialectProfile::build(DialectId::Monetdb);
+        let cfg = CampaignConfig {
+            max_statements: 1_000,
+            per_seed_cap: 4,
+            shard_statements: 128,
+            ..CampaignConfig::default()
+        };
+        let report = run_soft(&profile, &cfg);
+        assert!(!report.shards.is_empty());
+        // Shards tile the stream: contiguous offsets, summed statements.
+        let mut expect_offset = 0usize;
+        for (i, s) in report.shards.iter().enumerate() {
+            assert_eq!(s.shard, i);
+            assert_eq!(s.start_offset, expect_offset);
+            assert!(s.statements <= 128);
+            expect_offset += s.statements;
+        }
+        assert_eq!(expect_offset, report.statements_executed);
+        // Per-shard counters sum to the report totals.
+        assert_eq!(
+            report.shards.iter().map(|s| s.errors).sum::<usize>(),
+            report.errors
+        );
+        assert_eq!(
+            report.shards.iter().map(|s| s.false_positives).sum::<usize>(),
+            report.false_positives
+        );
+    }
+
+    #[test]
+    fn parallel_equals_serial_and_reports_timings() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig {
+            max_statements: 2_000,
+            per_seed_cap: 8,
+            ..CampaignConfig::default()
+        };
+        let serial = run_soft(&profile, &cfg);
+        let run = run_soft_parallel_timed(&profile, &cfg, 3);
+        assert_eq!(serial, run.report, "worker count leaked into the report");
+        assert_eq!(run.workers, 3);
+        assert_eq!(run.shard_timings.len(), run.report.shards.len());
+        assert!(run.statements_per_sec() > 0.0);
+        for (t, s) in run.shard_timings.iter().zip(&run.report.shards) {
+            assert_eq!(t.shard, s.shard);
+            assert_eq!(t.statements, s.statements);
+        }
     }
 }

@@ -30,6 +30,9 @@ pub mod patterns;
 pub mod pool;
 pub mod report;
 
-pub use campaign::{run_generator, run_soft, CampaignConfig, StatementGenerator};
+pub use campaign::{
+    default_workers, run_campaign, run_generator, run_soft, run_soft_parallel,
+    run_soft_parallel_timed, CampaignConfig, CampaignRun, ShardTiming, StatementGenerator,
+};
 pub use patterns::{GenCtx, GeneratedCase};
-pub use report::{render_table4, BugFinding, CampaignReport};
+pub use report::{render_table4, BugFinding, CampaignReport, ShardStats};

@@ -32,6 +32,29 @@ pub struct BugFinding {
     pub fixed: bool,
 }
 
+/// Deterministic per-shard execution counters from the sharded campaign
+/// runner. These are part of the report's `PartialEq` surface: the shard
+/// decomposition depends only on the configuration, never on the worker
+/// count, so equal configurations yield equal shard stats. Wall-clock
+/// telemetry (statements/sec) lives in
+/// [`ShardTiming`](crate::campaign::ShardTiming) instead, outside the
+/// comparable report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Shard index, in global statement order.
+    pub shard: usize,
+    /// Global statement offset where the shard begins (0-based).
+    pub start_offset: usize,
+    /// Statements the shard executed (its budget consumed).
+    pub statements: usize,
+    /// Crash outcomes observed (including repeats of already-found faults).
+    pub crashes: usize,
+    /// Ordinary SQL errors observed.
+    pub errors: usize,
+    /// Resource-limit kills observed.
+    pub false_positives: usize,
+}
+
 /// The result of one campaign against one target.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CampaignReport {
@@ -55,6 +78,11 @@ pub struct CampaignReport {
     ///
     /// [`run_generator`]: crate::campaign::run_generator
     pub generated_per_pattern: Vec<(PatternId, usize)>,
+    /// Per-shard execution counters, in shard order — empty for unsharded
+    /// [`run_generator`] runs.
+    ///
+    /// [`run_generator`]: crate::campaign::run_generator
+    pub shards: Vec<ShardStats>,
 }
 
 impl CampaignReport {
@@ -191,6 +219,14 @@ mod tests {
             functions_triggered: 40,
             branches_covered: 900,
             generated_per_pattern: vec![(PatternId::P1_1, 10), (PatternId::P1_2, 40)],
+            shards: vec![ShardStats {
+                shard: 0,
+                start_offset: 0,
+                statements: 100,
+                crashes: 3,
+                errors: 5,
+                false_positives: 2,
+            }],
         }
     }
 

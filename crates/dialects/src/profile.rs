@@ -532,6 +532,15 @@ fn build_registry(id: DialectId) -> FunctionRegistry {
     r
 }
 
+// The parallel campaign runner shares one profile across worker threads by
+// reference; keep the profile (and thus its registry, corpus, and fault
+// specs) `Send + Sync` by construction.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<DialectProfile>();
+    assert_send_sync::<DialectId>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;

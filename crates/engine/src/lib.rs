@@ -34,8 +34,25 @@ pub mod registry;
 
 mod engine;
 
+pub use coverage::Coverage;
 pub use engine::{Engine, EngineConfig};
 pub use error::{CrashKind, CrashReport, ExecOutcome, ResultSet, SqlError, Stage};
 pub use eval::{Evaluated, Provenance};
 pub use fault::{FaultSet, FaultSite, FaultSpec, PatternId, ProvPred, Trigger, ValuePred};
 pub use registry::{FunctionDef, FunctionRegistry, Limits};
+
+// Thread-safety audit for the sharded campaign runner: every worker owns a
+// private `Engine`, so the engine and everything it transitively holds must
+// cross thread boundaries. The registry stores plain `fn` pointers, faults
+// and session state are owned data, and nothing uses interior mutability —
+// enforced here at compile time so a regression (an `Rc`, a `RefCell`, a
+// raw pointer) fails the build instead of the campaign.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Engine>();
+    assert_send_sync::<FaultSet>();
+    assert_send_sync::<FunctionRegistry>();
+    assert_send_sync::<Coverage>();
+    assert_send_sync::<CrashReport>();
+    assert_send_sync::<registry::SessionState>();
+};

@@ -6,7 +6,7 @@
 //! ```
 
 use soft_repro::dialects::{DialectId, DialectProfile};
-use soft_repro::soft::campaign::{run_soft, CampaignConfig};
+use soft_repro::soft::campaign::{run_campaign, CampaignConfig};
 use soft_repro::soft::report::render_table4;
 
 fn main() {
@@ -21,9 +21,9 @@ fn main() {
     for id in DialectId::ALL {
         let profile = DialectProfile::build(id);
         let t0 = std::time::Instant::now();
-        let report = run_soft(
+        let report = run_campaign(
             &profile,
-            &CampaignConfig { max_statements: budget, per_seed_cap: 64, patterns: None },
+            &CampaignConfig { max_statements: budget, per_seed_cap: 64, ..CampaignConfig::default() },
         );
         println!(
             "{:<12} {:>3}/{:<3} bugs  ({} statements, {} fps, {:.1?})",

@@ -19,7 +19,8 @@ fn main() {
     );
 
     // Run a small, deterministic campaign.
-    let config = CampaignConfig { max_statements: 40_000, per_seed_cap: 48, patterns: None };
+    let config =
+        CampaignConfig { max_statements: 40_000, per_seed_cap: 48, ..CampaignConfig::default() };
     let report = run_soft(&profile, &config);
 
     println!(

@@ -1,11 +1,22 @@
 #!/usr/bin/env sh
 # Hermetic verification: the whole workspace must build and test with the
 # network off and nothing but the in-tree crates. Run from anywhere.
+#
+# The test suite runs twice — once at the harness default parallelism and
+# once pinned to a single test thread. The campaign runner promises
+# byte-identical reports for any worker count, and the two runs catch the
+# class of bug that only shows up under one scheduling regime (shared
+# state between tests, thread-count-dependent results).
 set -eu
 
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
+
+echo "verify: test pass 1/2 (default test threads)"
 cargo test -q --offline --workspace
 
-echo "verify: OK (offline build + tests)"
+echo "verify: test pass 2/2 (RUST_TEST_THREADS=1)"
+RUST_TEST_THREADS=1 cargo test -q --offline --workspace
+
+echo "verify: OK (offline build + tests at both thread settings)"

@@ -26,7 +26,7 @@
 //! let profile = DialectProfile::build(DialectId::Clickhouse);
 //! let report = run_soft(
 //!     &profile,
-//!     &CampaignConfig { max_statements: 20_000, per_seed_cap: 32, patterns: None },
+//!     &CampaignConfig { max_statements: 20_000, per_seed_cap: 32, ..CampaignConfig::default() },
 //! );
 //! assert!(!report.findings.is_empty());
 //! ```

@@ -7,13 +7,13 @@
 
 use soft_repro::dialects::{DialectId, DialectProfile};
 use soft_repro::engine::fault::PatternId;
-use soft_repro::soft::campaign::{run_soft, CampaignConfig};
+use soft_repro::soft::campaign::{run_soft, run_soft_parallel, CampaignConfig};
 
 fn config() -> CampaignConfig {
     // Small statement budget: generation (what these tests observe) runs for
     // every active pattern before budgeting, so the budget only bounds the
     // execution phase.
-    CampaignConfig { max_statements: 4_000, per_seed_cap: 8, patterns: None }
+    CampaignConfig { max_statements: 4_000, per_seed_cap: 8, ..CampaignConfig::default() }
 }
 
 /// A default campaign generates cases for all ten patterns — no pattern is
@@ -66,4 +66,53 @@ fn same_seed_campaigns_produce_identical_reports() {
         let b = run_soft(&profile, &config());
         assert_eq!(a, b, "campaign against {} is not deterministic", id.name());
     }
+}
+
+/// The sharded runner's core contract: the worker count is invisible in the
+/// report. Every worker count — including a prime one that leaves a ragged
+/// final shard and more workers than shards — produces a report equal to the
+/// serial `run_soft` baseline, for the full `CampaignReport` (findings order,
+/// per-shard stats, coverage, counters).
+#[test]
+fn worker_count_never_changes_the_report() {
+    for id in [DialectId::Postgres, DialectId::Monetdb] {
+        let profile = DialectProfile::build(id);
+        let serial = run_soft(&profile, &config());
+        assert!(
+            serial.shards.len() > 1,
+            "budget too small to exercise the shard merge on {}",
+            id.name()
+        );
+        for workers in [1usize, 2, 4, 7] {
+            let parallel = run_soft_parallel(&profile, &config(), workers);
+            assert_eq!(
+                serial,
+                parallel,
+                "{} workers diverged from serial on {}",
+                workers,
+                id.name()
+            );
+        }
+    }
+}
+
+/// Shard stats in the report tile the statement stream exactly: offsets are
+/// contiguous, lengths sum to `statements_executed`, and per-shard crash
+/// counters sum to at least the number of unique findings.
+#[test]
+fn shard_stats_are_a_partition_of_the_campaign() {
+    let profile = DialectProfile::build(DialectId::Monetdb);
+    let report = run_soft(&profile, &config());
+    let mut next_offset = 0usize;
+    let mut statements = 0usize;
+    let mut crashes = 0usize;
+    for (i, shard) in report.shards.iter().enumerate() {
+        assert_eq!(shard.shard, i);
+        assert_eq!(shard.start_offset, next_offset);
+        next_offset += shard.statements;
+        statements += shard.statements;
+        crashes += shard.crashes;
+    }
+    assert_eq!(statements, report.statements_executed);
+    assert!(crashes >= report.findings.len());
 }

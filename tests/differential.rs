@@ -1,0 +1,172 @@
+//! Cross-dialect differential suite: the shared seed corpus against all
+//! seven dialect profiles.
+//!
+//! The seven simulated targets share one engine implementation, so the
+//! shared seed queries act as a PQS-style oracle: they must be crash-free
+//! everywhere, classify identically across repeated runs, and — on the
+//! fault-free build — evaluate to the same rows on every dialect that
+//! accepts them. Catalog agreement pins the aliasing layer: a name exposed
+//! by all seven registries must resolve to the same canonical definition.
+
+use soft_repro::dialects::seeds::{SHARED_PREP, SHARED_QUERIES};
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::engine::{Engine, ExecOutcome};
+
+/// How a statement's outcome is bucketed for differential comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Class {
+    /// Ran to completion; carries the rendered result rows (or, for
+    /// non-query statements, the acknowledgement tag).
+    Ok(Vec<Vec<String>>),
+    /// Rejected with an error; carries the error's debug shape.
+    Error(String),
+    /// Crashed; carries the fault id. Never acceptable for seed queries.
+    Crash(String),
+}
+
+fn prepared(mut engine: Engine) -> Engine {
+    for prep in SHARED_PREP {
+        let out = engine.execute(prep);
+        assert!(!out.is_crash(), "shared prep {prep} crashed: {out:?}");
+    }
+    engine
+}
+
+fn classify(engine: &mut Engine, sql: &str) -> Class {
+    match engine.execute(sql) {
+        ExecOutcome::Rows(rs) => Class::Ok(
+            rs.rows.iter().map(|row| row.iter().map(|v| v.render()).collect()).collect(),
+        ),
+        ExecOutcome::Ok(tag) => Class::Ok(vec![vec![tag]]),
+        ExecOutcome::Error(e) => Class::Error(format!("{e:?}")),
+        ExecOutcome::Crash(c) => Class::Crash(c.fault_id),
+    }
+}
+
+/// The full classification matrix of one dialect: every shared query, in
+/// order, against a freshly prepared engine.
+fn classification_matrix(profile: &DialectProfile, armed: bool) -> Vec<Class> {
+    let mut engine =
+        prepared(if armed { profile.engine() } else { profile.engine_without_faults() });
+    SHARED_QUERIES.iter().map(|sql| classify(&mut engine, sql)).collect()
+}
+
+/// Every shared seed query runs crash-free on every dialect's *armed*
+/// engine: the seeds are the paper's collected corpus, and collection never
+/// yields a crashing statement — crashes only enter via pattern mutation.
+#[test]
+fn shared_seeds_are_crash_free_on_every_dialect() {
+    for id in DialectId::ALL {
+        let profile = DialectProfile::build(id);
+        let mut engine = prepared(profile.engine());
+        for sql in SHARED_QUERIES {
+            let out = engine.execute(sql);
+            assert!(!out.is_crash(), "{}: seed {sql} crashed: {out:?}", id.name());
+        }
+    }
+}
+
+/// Names exposed by all seven registries resolve to the same canonical
+/// definition everywhere: same canonical name, category, arity window, and
+/// aggregate-ness. This pins the aliasing layer — a dialect may rename or
+/// omit functions, but never quietly rebind a shared name.
+#[test]
+fn catalogs_agree_on_common_functions() {
+    let profiles: Vec<DialectProfile> =
+        DialectId::ALL.into_iter().map(DialectProfile::build).collect();
+    let mut common: Vec<String> = profiles[0].registry.names();
+    common.retain(|name| profiles.iter().all(|p| p.registry.resolve(name).is_some()));
+    assert!(
+        common.len() >= 40,
+        "suspiciously small common catalog ({} names) — did an alias table break?",
+        common.len()
+    );
+    for name in &common {
+        let reference = profiles[0].registry.resolve(name).expect("name is common");
+        for p in &profiles[1..] {
+            let def = p.registry.resolve(name).expect("name is common");
+            assert_eq!(
+                def.name,
+                reference.name,
+                "{}: {} resolves to a different canonical function",
+                p.id,
+                name
+            );
+            assert_eq!(def.category, reference.category, "{}: {} category", p.id, name);
+            assert_eq!(def.min_args, reference.min_args, "{}: {} min_args", p.id, name);
+            assert_eq!(def.max_args, reference.max_args, "{}: {} max_args", p.id, name);
+            assert_eq!(
+                def.is_aggregate(),
+                reference.is_aggregate(),
+                "{}: {} aggregate-ness",
+                p.id,
+                name
+            );
+        }
+    }
+}
+
+/// The ok/error/crash classification of the shared corpus is stable: two
+/// independent prepared engines produce identical matrices, on both the
+/// armed and the fault-free build, and the armed build never classifies a
+/// seed as a crash.
+#[test]
+fn classification_matrix_is_stable_per_dialect() {
+    for id in DialectId::ALL {
+        let profile = DialectProfile::build(id);
+        for armed in [true, false] {
+            let first = classification_matrix(&profile, armed);
+            let second = classification_matrix(&profile, armed);
+            assert_eq!(
+                first,
+                second,
+                "{} (armed={armed}): classification is not reproducible",
+                id.name()
+            );
+            for (sql, class) in SHARED_QUERIES.iter().zip(&first) {
+                assert!(
+                    !matches!(class, Class::Crash(_)),
+                    "{} (armed={armed}): seed {sql} classified as crash",
+                    id.name()
+                );
+            }
+        }
+    }
+}
+
+/// The differential oracle proper: on the fault-free build, a shared query
+/// that evaluates to rows on every dialect must evaluate to the *same* rows
+/// on every dialect — the dialects differ in catalog and fault corpus, not
+/// in the semantics of shared functions.
+#[test]
+fn fault_free_dialects_agree_on_shared_query_results() {
+    let matrices: Vec<(DialectId, Vec<Class>)> = DialectId::ALL
+        .into_iter()
+        .map(|id| (id, classification_matrix(&DialectProfile::build(id), false)))
+        .collect();
+    let mut compared = 0usize;
+    for (qi, sql) in SHARED_QUERIES.iter().enumerate() {
+        let everywhere_ok =
+            matrices.iter().all(|(_, m)| matches!(&m[qi], Class::Ok(_)));
+        if !everywhere_ok {
+            continue;
+        }
+        let (ref_id, reference) = (&matrices[0].0, &matrices[0].1[qi]);
+        for (id, matrix) in &matrices[1..] {
+            assert_eq!(
+                &matrix[qi],
+                reference,
+                "{sql}: {} disagrees with {}",
+                id.name(),
+                ref_id.name()
+            );
+        }
+        compared += 1;
+    }
+    assert!(
+        compared >= SHARED_QUERIES.len() / 2,
+        "only {compared} of {} shared queries ran everywhere — the differential \
+         oracle has lost most of its surface",
+        SHARED_QUERIES.len()
+    );
+}

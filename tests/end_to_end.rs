@@ -10,7 +10,7 @@ fn soft_finds_real_corpus_bugs_with_valid_pocs() {
     let profile = DialectProfile::build(DialectId::Monetdb);
     let report = run_soft(
         &profile,
-        &CampaignConfig { max_statements: 30_000, per_seed_cap: 48, patterns: None },
+        &CampaignConfig { max_statements: 30_000, per_seed_cap: 48, ..CampaignConfig::default() },
     );
     assert!(
         report.findings.len() >= 8,
@@ -38,7 +38,7 @@ fn findings_metadata_is_consistent_with_the_corpus() {
     let profile = DialectProfile::build(DialectId::Clickhouse);
     let report = run_soft(
         &profile,
-        &CampaignConfig { max_statements: 40_000, per_seed_cap: 48, patterns: None },
+        &CampaignConfig { max_statements: 40_000, per_seed_cap: 48, ..CampaignConfig::default() },
     );
     for f in &report.findings {
         let spec = profile
@@ -61,7 +61,7 @@ fn fixed_engine_survives_every_found_poc() {
     let profile = DialectProfile::build(DialectId::Duckdb);
     let report = run_soft(
         &profile,
-        &CampaignConfig { max_statements: 25_000, per_seed_cap: 32, patterns: None },
+        &CampaignConfig { max_statements: 25_000, per_seed_cap: 32, ..CampaignConfig::default() },
     );
     let mut patched = profile.engine_without_faults();
     for prep in soft_repro::dialects::seeds::SHARED_PREP {
@@ -125,7 +125,7 @@ fn campaign_pocs_minimize_and_still_reproduce() {
     let profile = DialectProfile::build(DialectId::Clickhouse);
     let report = run_soft(
         &profile,
-        &CampaignConfig { max_statements: 30_000, per_seed_cap: 32, patterns: None },
+        &CampaignConfig { max_statements: 30_000, per_seed_cap: 32, ..CampaignConfig::default() },
     );
     assert!(!report.findings.is_empty());
     for f in &report.findings {

@@ -1,0 +1,109 @@
+//! Golden tests for the PoC reducer: three recorded campaign-style PoCs pin
+//! their exact minimal form.
+//!
+//! The reducer's output is part of the reporting surface (§7.1 logs the
+//! statements filed upstream), so it must stay byte-stable: a quietly
+//! changed simplification order would churn every previously filed PoC.
+//! Each fixture is an inflated statement as a campaign would record it —
+//! the crashing expression buried among decoy projections, a WHERE, an
+//! ORDER BY, and a LIMIT — and the golden string is the fixpoint the
+//! reducer reaches today.
+
+use soft_repro::dialects::seeds::SHARED_PREP;
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::engine::{Engine, ExecOutcome};
+use soft_repro::soft::minimize::minimize;
+
+struct Golden {
+    dialect: DialectId,
+    fault_id: &'static str,
+    recorded: &'static str,
+    minimal: &'static str,
+}
+
+const GOLDENS: &[Golden] = &[
+    // Clause dropping only: the aggregate call itself is already minimal.
+    Golden {
+        dialect: DialectId::Postgres,
+        fault_id: "postgresql-aggregate-hbof-listing8-0",
+        recorded: "SELECT JSONB_OBJECT_AGG(DISTINCT 'a', 'abc'), UPPER('decoy-column'), \
+                   1234567890 FROM t1 WHERE a > 0 ORDER BY a LIMIT 99",
+        minimal: "SELECT JSONB_OBJECT_AGG(DISTINCT 'a', 'abc') FROM t1",
+    },
+    // Clause dropping plus literal shortening: the WKT string halves to
+    // 'POINT' while still tripping the array-element type confusion.
+    Golden {
+        dialect: DialectId::Clickhouse,
+        fault_id: "clickhouse-array-npd-p2_3-1",
+        recorded: "SELECT array_append('POINT(1 2)', 3), UPPER('decoy-column'), \
+                   1234567890 FROM t1 WHERE a > 0 ORDER BY a LIMIT 99",
+        minimal: "SELECT array_append('POINT', 3) FROM t1",
+    },
+    // A nested subquery argument the reducer must preserve: replacing or
+    // unwrapping it loses the overflow value that triggers the fault.
+    Golden {
+        dialect: DialectId::Monetdb,
+        fault_id: "monetdb-aggregate-npd-p2_2-2",
+        recorded: "SELECT bit_or((SELECT 1 UNION ALL SELECT 1e200 LIMIT 1)), \
+                   UPPER('decoy-column'), 1234567890 FROM t1 WHERE a > 0 ORDER BY a LIMIT 99",
+        minimal: "SELECT bit_or((SELECT 1 UNION ALL SELECT 1e200 LIMIT 1)) FROM t1",
+    },
+];
+
+fn prepared_engine(profile: &DialectProfile) -> Engine {
+    let mut e = profile.engine();
+    for prep in SHARED_PREP {
+        let _ = e.execute(prep);
+    }
+    e
+}
+
+#[test]
+fn recorded_pocs_minimize_to_their_pinned_form() {
+    for g in GOLDENS {
+        let profile = DialectProfile::build(g.dialect);
+        // The recorded PoC fires the expected fault in the first place.
+        match prepared_engine(&profile).execute(g.recorded) {
+            ExecOutcome::Crash(c) => assert_eq!(
+                c.fault_id, g.fault_id,
+                "recorded PoC for {} fires the wrong fault",
+                g.fault_id
+            ),
+            other => panic!("recorded PoC for {} does not crash: {other:?}", g.fault_id),
+        }
+        let minimized = minimize(g.recorded, || prepared_engine(&profile));
+        assert_eq!(
+            minimized, g.minimal,
+            "reducer output drifted for {} — if the new form is intentional, \
+             re-pin the golden string",
+            g.fault_id
+        );
+    }
+}
+
+#[test]
+fn pinned_minimal_forms_still_fire_their_fault() {
+    for g in GOLDENS {
+        let profile = DialectProfile::build(g.dialect);
+        match prepared_engine(&profile).execute(g.minimal) {
+            ExecOutcome::Crash(c) => assert_eq!(
+                c.fault_id, g.fault_id,
+                "minimal form `{}` drifted to another fault",
+                g.minimal
+            ),
+            other => panic!("minimal form `{}` no longer crashes: {other:?}", g.minimal),
+        }
+        assert!(g.minimal.len() < g.recorded.len());
+    }
+}
+
+#[test]
+fn pinned_minimal_forms_are_fixpoints_of_the_reducer() {
+    // Minimizing an already-minimal PoC must be the identity — otherwise
+    // the golden strings above are not actually fixpoints.
+    for g in GOLDENS {
+        let profile = DialectProfile::build(g.dialect);
+        let again = minimize(g.minimal, || prepared_engine(&profile));
+        assert_eq!(again, g.minimal, "{} is not a reducer fixpoint", g.fault_id);
+    }
+}

@@ -320,12 +320,62 @@ fn casting_is_total() {
     );
 }
 
+/// Every statement the ten generation patterns emit round-trips through the
+/// parser: `parse(display(parse(sql)))` is the same AST. The campaign feeds
+/// pattern output straight into `Engine::execute`, so a printable-but-
+/// unreparsable case would silently change what the minimizer and the PoC
+/// ledger reproduce.
+#[test]
+fn pattern_generated_cases_roundtrip_through_the_parser() {
+    use soft_repro::dialects::{DialectId, DialectProfile};
+    use soft_repro::engine::fault::PatternId;
+    use soft_repro::soft::collect::collect;
+    use soft_repro::soft::patterns::{apply_salted, GenCtx};
+
+    // Pre-generate a bounded corpus: a few seeds per pattern, all ten
+    // patterns, from the dialect with the largest seed corpus.
+    let profile = DialectProfile::build(DialectId::Virtuoso);
+    let collection = collect(&profile);
+    let ctx = GenCtx::new(&collection);
+    let mut cases = Vec::new();
+    for pattern in PatternId::ALL {
+        for (si, seed) in collection.seeds.iter().take(6).enumerate() {
+            apply_salted(pattern, seed, &ctx, 4, si, &mut cases);
+        }
+    }
+    assert!(cases.len() > 100, "corpus too small: {}", cases.len());
+    for pattern in PatternId::ALL {
+        assert!(
+            cases.iter().any(|c| c.pattern == pattern),
+            "no cases from {}",
+            pattern.label()
+        );
+    }
+
+    Check::new("pattern_generated_cases_roundtrip_through_the_parser").cases(256).run(
+        |rng| rng.gen_range(0usize..cases.len()),
+        |&idx| {
+            let case = &cases[idx % cases.len()];
+            let ast = soft_repro::parser::parse_statement(&case.sql)
+                .map_err(|e| format!("[{}] {} does not parse: {e:?}", case.pattern, case.sql))?;
+            let printed = ast.to_string();
+            let reparsed = soft_repro::parser::parse_statement(&printed)
+                .map_err(|e| format!("[{}] print of {} does not reparse: {e:?}", case.pattern, case.sql))?;
+            if reparsed == ast {
+                Ok(())
+            } else {
+                Err(format!("[{}] {} printed as {printed} parses differently", case.pattern, case.sql))
+            }
+        },
+    );
+}
+
 #[test]
 fn campaign_is_deterministic_across_runs() {
     use soft_repro::dialects::{DialectId, DialectProfile};
     use soft_repro::soft::campaign::{run_soft, CampaignConfig};
     let profile = DialectProfile::build(DialectId::Postgres);
-    let cfg = CampaignConfig { max_statements: 4_000, per_seed_cap: 8, patterns: None };
+    let cfg = CampaignConfig { max_statements: 4_000, per_seed_cap: 8, ..CampaignConfig::default() };
     let a = run_soft(&profile, &cfg);
     let b = run_soft(&profile, &cfg);
     assert_eq!(a, b);
