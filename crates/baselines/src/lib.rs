@@ -7,7 +7,7 @@
 //! harness measures all four tools.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod common;
 pub mod sqlancer;

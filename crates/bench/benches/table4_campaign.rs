@@ -5,6 +5,7 @@
 
 use soft_bench::Bench;
 use soft_core::campaign::{run_soft_parallel, CampaignConfig};
+use soft_core::TelemetryConfig;
 use soft_dialects::{DialectId, DialectProfile};
 use std::hint::black_box;
 
@@ -43,6 +44,25 @@ fn main() {
             },
         );
     }
+
+    // Telemetry-on arm of the sweep: same campaign with the event journal,
+    // yield metrics, and coverage curves active. Stripping the telemetry
+    // field back to `None` must recover the Off-mode report exactly (the
+    // ledger observes the run, it never steers it); the throughput gap to
+    // `workers4` above is the telemetry overhead.
+    let telemetry_cfg = CampaignConfig { telemetry: TelemetryConfig::on(), ..sweep_cfg.clone() };
+    let mut on = run_soft_parallel(&profile, &telemetry_cfg, 4);
+    assert!(on.telemetry.is_some(), "telemetry was requested");
+    on.telemetry = None;
+    assert_eq!(reference, on, "telemetry changed the campaign report");
+    b.bench_items(
+        "table4_campaign/parallel/ClickHouse/workers4/telemetry",
+        reference.statements_executed as u64,
+        || {
+            let report = run_soft_parallel(&profile, &telemetry_cfg, 4);
+            black_box(report.findings.len())
+        },
+    );
 
     // Building a profile includes corpus construction and witness synthesis.
     b.bench("profile_build/virtuoso", || {

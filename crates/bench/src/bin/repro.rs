@@ -2,12 +2,22 @@
 //!
 //! Usage: `repro <artifact> [--budget N]` where artifact is one of
 //! `table1 table2 table3 figure1 findings rootcauses table4 figure2
-//! table5 table6 bugs24h cases all`.
+//! table5 table6 bugs24h cases all`, plus the two telemetry commands:
+//!
+//! * `repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]`
+//!   runs one telemetry-on campaign and (optionally) writes its JSONL
+//!   event journal;
+//! * `repro trace <journal.jsonl>` analyzes a journal offline: outcome
+//!   classes, top-yield pattern/category tables, and the §7.5-style
+//!   unique-bugs and coverage growth curves.
 
 use soft_bench::comparison::{render_metric, run_comparison, Tool, COMPARED_DIALECTS};
+use soft_bench::trace::{dialect_by_name, render_trace};
 use soft_core::campaign::{run_campaign, run_soft_parallel_timed, CampaignConfig};
 use soft_core::report::render_table4;
+use soft_core::{TelemetryConfig, TelemetryOptions};
 use soft_dialects::{all_cases, CaseKind, DialectId, DialectProfile};
+use soft_obs::TraceFile;
 use soft_study::{analysis, studied_bugs};
 
 fn main() {
@@ -32,6 +42,8 @@ fn main() {
         "bugs24h" => bugs24h(budget / 3),
         "cases" => cases(),
         "ablation" => ablation(budget / 2),
+        "campaign" => campaign(&args, budget),
+        "trace" => trace(&args),
         "all" => {
             table1();
             table2();
@@ -50,11 +62,92 @@ fn main() {
             eprintln!("unknown artifact {other:?}");
             eprintln!(
                 "artifacts: table1 table2 table3 figure1 findings rootcauses table4 \
-                 figure2 table5 table6 bugs24h cases ablation all"
+                 figure2 table5 table6 bugs24h cases ablation campaign trace all"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// `repro campaign <dialect>` — one telemetry-on campaign with the journal
+/// and yield surfaces printed, and optionally persisted as JSONL.
+fn campaign(args: &[String], budget: usize) {
+    let Some(id) = args.get(1).and_then(|n| dialect_by_name(n)) else {
+        eprintln!("usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]");
+        eprintln!(
+            "dialects: {}",
+            DialectId::ALL.map(|d| d.name()).join(" ")
+        );
+        std::process::exit(2);
+    };
+    let workers = args
+        .iter()
+        .position(|a| a == "--workers")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or_else(soft_core::default_workers);
+    let journal_path = args
+        .iter()
+        .position(|a| a == "--journal")
+        .and_then(|i| args.get(i + 1))
+        .map(std::path::PathBuf::from);
+    hr(&format!("Telemetry campaign — {}", id.name()));
+    let snapshot_interval = (budget / 20).clamp(100, 10_000);
+    let cfg = CampaignConfig {
+        max_statements: budget,
+        per_seed_cap: 64,
+        telemetry: TelemetryConfig::On(TelemetryOptions {
+            snapshot_interval,
+            journal_path: journal_path.clone(),
+        }),
+        ..CampaignConfig::default()
+    };
+    let profile = DialectProfile::build(id);
+    let run = run_soft_parallel_timed(&profile, &cfg, workers);
+    let report = &run.report;
+    println!(
+        "{}: {} statements, {} workers, {:.0} statements/sec, {} bugs, {} errors, {} fps\n",
+        id.name(),
+        report.statements_executed,
+        run.workers,
+        run.statements_per_sec(),
+        report.findings.len(),
+        report.errors,
+        report.false_positives
+    );
+    let telemetry = report.telemetry.as_ref().expect("telemetry was on");
+    println!("{}", telemetry.yields.render_pattern_table());
+    println!("{}", telemetry.yields.render_category_table());
+    println!("{}", telemetry.curves.render());
+    if let Some(latency) = &run.stage_latency {
+        println!("{}", latency.render());
+    }
+    if let Some(path) = &journal_path {
+        println!("journal: {} ({} events)", path.display(), telemetry.journal.events.len());
+    }
+}
+
+/// `repro trace <journal.jsonl>` — offline journal analysis.
+fn trace(args: &[String]) {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: repro trace <journal.jsonl>");
+        std::process::exit(2);
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    let trace = match TraceFile::parse(&text) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("malformed journal {path}: {e}");
+            std::process::exit(2);
+        }
+    };
+    print!("{}", render_trace(&trace));
 }
 
 fn hr(title: &str) {

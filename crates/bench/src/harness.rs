@@ -161,7 +161,7 @@ impl Bench {
     /// Serialises the samples as a `BENCH_<group>.json` document.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str(&format!("  \"group\": \"{}\",\n", self.group));
+        out.push_str(&format!("  \"group\": \"{}\",\n", soft_obs::json::escape(&self.group)));
         out.push_str("  \"results\": [\n");
         for (i, s) in self.samples.iter().enumerate() {
             let throughput = match s.items_per_sec() {
@@ -174,7 +174,7 @@ impl Bench {
             out.push_str(&format!(
                 "    {{\"label\": \"{}\", \"iters\": {}, \"median_ns\": {:.1}, \
                  \"p95_ns\": {:.1}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}{}}}{}\n",
-                s.label.replace('"', "\\\""),
+                soft_obs::json::escape(&s.label),
                 s.iters,
                 s.median_ns,
                 s.p95_ns,

@@ -3,12 +3,14 @@
 //! figure of the paper.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod ablation;
 pub mod comparison;
 pub mod harness;
+pub mod trace;
 
 pub use ablation::{render_ablation, run_ablation, AblationResult};
 pub use comparison::{check_shape, render_metric, run_comparison, Tool, ToolResult};
 pub use harness::{Bench, Sample};
+pub use trace::{dialect_by_name, render_trace};

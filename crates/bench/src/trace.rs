@@ -1,0 +1,59 @@
+//! Offline analysis of campaign event journals (`repro trace`).
+//!
+//! A journal is the JSONL [`TraceFile`] that a telemetry-on campaign
+//! writes (see `CampaignConfig::telemetry` and `soft-obs`). This module
+//! turns one back into the human-readable surfaces: outcome counts, the
+//! per-pattern / per-category yield tables, and the §7.5-style growth
+//! curves. Rendering lives in the library (not the `repro` binary) so the
+//! golden test in `tests/telemetry.rs` can pin the output byte for byte.
+
+use soft_dialects::{DialectId, DialectProfile};
+use soft_obs::{GrowthCurves, TraceFile, YieldMetrics};
+use std::fmt::Write as _;
+
+/// Resolves a dialect by (case-insensitive) name, as it appears in a
+/// journal header or on the `repro campaign` command line.
+pub fn dialect_by_name(name: &str) -> Option<DialectId> {
+    DialectId::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+}
+
+/// Renders the `repro trace` report for one parsed journal.
+///
+/// When the journal header names a known dialect, function names are
+/// resolved against that dialect's registry so the per-category yield
+/// table can be rebuilt; otherwise only the per-pattern table is shown.
+pub fn render_trace(trace: &TraceFile) -> String {
+    let mut out = String::new();
+    let dialect = trace.dialect.as_deref().unwrap_or("unknown dialect");
+    let _ = writeln!(
+        out,
+        "journal: {} — {} events, {} unique faults",
+        dialect,
+        trace.journal.events.len(),
+        trace.journal.unique_faults()
+    );
+    let _ = write!(out, "outcomes:");
+    for (class, n) in trace.journal.outcome_counts() {
+        let _ = write!(out, " {}={n}", class.label());
+    }
+    let _ = writeln!(out, "\n");
+
+    // Rebuild the yield ledger from the journal; category resolution uses
+    // the dialect's registry when the header names a known dialect.
+    let engine = trace.dialect.as_deref().and_then(dialect_by_name).map(|id| {
+        DialectProfile::build(id).engine()
+    });
+    let yields = YieldMetrics::from_events(&trace.journal.events, &trace.generated, |name| {
+        engine.as_ref().and_then(|e| e.registry().resolve(name).map(|d| d.category))
+    });
+    let _ = writeln!(out, "{}", yields.render_pattern_table());
+    if engine.is_some() {
+        let _ = writeln!(out, "{}", yields.render_category_table());
+    }
+    let curves = GrowthCurves {
+        coverage: trace.coverage.clone(),
+        bugs: GrowthCurves::bugs_from_events(&trace.journal.events),
+    };
+    out.push_str(&curves.render());
+    out
+}

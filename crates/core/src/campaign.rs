@@ -31,10 +31,13 @@ use crate::patterns::{self, GenCtx, GeneratedCase};
 use crate::report::{BugFinding, CampaignReport, ShardStats};
 use soft_dialects::DialectProfile;
 use soft_engine::{Coverage, Engine, ExecOutcome, PatternId, SqlError};
+use soft_obs::{
+    OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig, TelemetryOptions,
+};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -57,6 +60,14 @@ pub struct CampaignConfig {
     /// boundaries reset session state), so two runs compare equal only under
     /// the same `shard_statements`; the worker count is not.
     pub shard_statements: usize,
+    /// Observability knob (default [`TelemetryConfig::Off`], which costs one
+    /// branch per statement). When on, the run records the statement-level
+    /// event journal, yield metrics, coverage-growth curves (all
+    /// deterministic, inside [`CampaignReport::telemetry`]) and wall-clock
+    /// stage latencies (outside the report, in
+    /// [`CampaignRun::stage_latency`]). The snapshot interval is part of the
+    /// campaign semantics; the journal path is not (it only adds a sink).
+    pub telemetry: TelemetryConfig,
 }
 
 impl Default for CampaignConfig {
@@ -67,6 +78,7 @@ impl Default for CampaignConfig {
             patterns: None,
             workers: default_workers(),
             shard_statements: 256,
+            telemetry: TelemetryConfig::Off,
         }
     }
 }
@@ -105,6 +117,21 @@ struct PlannedCase {
     sql: String,
     /// `None` for phase-1 seed statements.
     pattern: Option<PatternId>,
+    /// Index of the seed the statement derives from (telemetry provenance).
+    seed: usize,
+}
+
+/// The planned campaign: the exact statement stream plus the provenance
+/// tables telemetry needs. Pure data — building it involves no engine.
+struct Plan {
+    cases: Vec<PlannedCase>,
+    generated_per_pattern: Vec<(PatternId, usize)>,
+    /// Root function of each seed statement (the first collected function
+    /// expression), indexed by seed id — the journal's "target function"
+    /// for non-crashing statements.
+    seed_functions: Vec<Option<String>>,
+    /// Wall-clock generation time per active pattern (telemetry only).
+    generate_latency: Vec<Duration>,
 }
 
 /// Per-shard wall-clock observability (not part of the deterministic
@@ -143,6 +170,11 @@ pub struct CampaignRun {
     pub wall_nanos: u128,
     /// Per-shard timings, in shard order.
     pub shard_timings: Vec<ShardTiming>,
+    /// Per-stage wall-clock latency histograms (generate, parse, execute,
+    /// minimize), recorded only when [`CampaignConfig::telemetry`] is on.
+    /// Wall-clock varies run to run, so this lives here — next to
+    /// [`ShardTiming`] — and never inside the comparable [`CampaignReport`].
+    pub stage_latency: Option<StageLatency>,
 }
 
 impl CampaignRun {
@@ -161,6 +193,7 @@ struct ShardOutcome {
     findings: Vec<BugFinding>,
     coverage: Coverage,
     nanos: u128,
+    telemetry: Option<ShardTelemetry>,
 }
 
 /// Runs a full SOFT campaign against one dialect profile, serially — the
@@ -196,11 +229,12 @@ pub fn run_soft_parallel_timed(
 ) -> CampaignRun {
     let t0 = Instant::now();
     let workers = n_workers.max(1);
+    let telemetry_opts = config.telemetry.options();
     let collection = collect::collect(profile);
     let ctx = GenCtx::new(&collection);
     let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
 
-    let (plan, generated_per_pattern) = build_plan(&collection, &ctx, config, workers);
+    let plan = build_plan(&collection, &ctx, config, workers);
 
     // The shard template: a fresh engine with preparation replayed. Cloning
     // it is exactly the state the serial runner re-creates after a crash
@@ -211,9 +245,9 @@ pub fn run_soft_parallel_timed(
     }
 
     let shard_size = config.shard_statements.max(1);
-    let shards: Vec<(usize, usize)> = (0..plan.len())
+    let shards: Vec<(usize, usize)> = (0..plan.cases.len())
         .step_by(shard_size)
-        .map(|start| (start, shard_size.min(plan.len() - start)))
+        .map(|start| (start, shard_size.min(plan.cases.len() - start)))
         .collect();
 
     let mut outcomes: Vec<ShardOutcome> = if workers == 1 || shards.len() <= 1 {
@@ -221,7 +255,7 @@ pub fn run_soft_parallel_timed(
             .iter()
             .enumerate()
             .map(|(i, &(start, len))| {
-                run_shard(profile, &template, &prep, &plan[start..start + len], i, start)
+                run_shard(profile, &template, &prep, &plan, start..start + len, i, telemetry_opts)
             })
             .collect()
     } else {
@@ -236,9 +270,10 @@ pub fn run_soft_parallel_timed(
                         profile,
                         &template,
                         &prep,
-                        &plan[start..start + len],
+                        &plan,
+                        start..start + len,
                         i,
-                        start,
+                        telemetry_opts,
                     );
                     done.lock().expect("shard results poisoned").push(outcome);
                 });
@@ -257,6 +292,7 @@ pub fn run_soft_parallel_timed(
     let mut coverage = Coverage::new();
     let mut stats: Vec<ShardStats> = Vec::with_capacity(outcomes.len());
     let mut timings: Vec<ShardTiming> = Vec::with_capacity(outcomes.len());
+    let mut shard_telemetry: Vec<ShardTelemetry> = Vec::new();
     let mut statements = 0usize;
     let mut false_positives = 0usize;
     let mut errors = 0usize;
@@ -276,7 +312,43 @@ pub fn run_soft_parallel_timed(
             nanos: outcome.nanos,
         });
         stats.push(outcome.stats.clone());
+        if let Some(t) = outcome.telemetry.take() {
+            shard_telemetry.push(t);
+        }
     }
+
+    // Telemetry merge: deterministic (journal, yields, curves) into the
+    // report; wall-clock (stage latencies) into the run.
+    let (telemetry, stage_latency) = match telemetry_opts {
+        None => (None, None),
+        Some(opts) => {
+            let registry = template.registry();
+            let (merged, mut latency) = soft_obs::telemetry::merge_shards(
+                shard_telemetry,
+                &plan.generated_per_pattern,
+                opts.snapshot_interval.max(1),
+                |name| registry.resolve(name).map(|d| d.category),
+            );
+            for d in &plan.generate_latency {
+                latency.generate.record(*d);
+            }
+            // Time the minimize stage over the unique findings (the PoCs the
+            // paper's harness would report). The reducer only reads cloned
+            // engines, so the report is untouched.
+            for f in &findings {
+                let t = Instant::now();
+                let _ = crate::minimize::minimize(&f.poc, || template.clone());
+                latency.minimize.record(t.elapsed());
+            }
+            if let Some(path) = &opts.journal_path {
+                let trace = merged.to_trace(Some(profile.id.name()), statements);
+                if let Err(e) = std::fs::write(path, trace.to_jsonl()) {
+                    eprintln!("soft-obs: could not write journal {}: {e}", path.display());
+                }
+            }
+            (Some(merged), Some(latency))
+        }
+    };
 
     let report = CampaignReport {
         dialect: profile.id,
@@ -286,10 +358,17 @@ pub fn run_soft_parallel_timed(
         errors,
         functions_triggered: coverage.functions_triggered(),
         branches_covered: coverage.branches_covered(),
-        generated_per_pattern,
+        generated_per_pattern: plan.generated_per_pattern,
         shards: stats,
+        telemetry,
     };
-    CampaignRun { report, workers, wall_nanos: t0.elapsed().as_nanos(), shard_timings: timings }
+    CampaignRun {
+        report,
+        workers,
+        wall_nanos: t0.elapsed().as_nanos(),
+        shard_timings: timings,
+        stage_latency,
+    }
 }
 
 /// Plans the exact statement stream the campaign executes: phase-1 seeds,
@@ -301,19 +380,27 @@ fn build_plan(
     ctx: &GenCtx,
     config: &CampaignConfig,
     workers: usize,
-) -> (Vec<PlannedCase>, Vec<(PatternId, usize)>) {
+) -> Plan {
     let mut plan: Vec<PlannedCase> = Vec::new();
     let mut executed: HashSet<String> = HashSet::new();
 
+    // Seed provenance for the event journal: the root (first collected)
+    // function expression of each seed statement.
+    let seed_functions: Vec<Option<String>> = collection
+        .seeds
+        .iter()
+        .map(|s| soft_parser::visit::collect_function_exprs(s).first().map(|f| f.name.clone()))
+        .collect();
+
     // Phase 1: the seeds themselves (they should be crash-free, but they
     // count toward the budget and they prime coverage).
-    for stmt in &collection.seeds {
+    for (si, stmt) in collection.seeds.iter().enumerate() {
         if plan.len() >= config.max_statements {
             break;
         }
         let sql = stmt.to_string();
         if executed.insert(sql.clone()) {
-            plan.push(PlannedCase { sql, pattern: None });
+            plan.push(PlannedCase { sql, pattern: None, seed: si });
         }
     }
 
@@ -323,7 +410,8 @@ fn build_plan(
         None => PATTERN_ORDER.to_vec(),
         Some(ps) => PATTERN_ORDER.iter().copied().filter(|p| ps.contains(p)).collect(),
     };
-    let per_pattern = generate_cases(collection, ctx, config, &active, workers);
+    let (per_pattern, generate_latency) =
+        generate_cases(collection, ctx, config, &active, workers);
     let generated_per_pattern: Vec<(PatternId, usize)> =
         active.iter().zip(&per_pattern).map(|(&p, cases)| (p, cases.len())).collect();
 
@@ -335,12 +423,13 @@ fn build_plan(
                 break 'outer;
             }
             while cursors[pi] < cases.len() {
-                let case = &cases[cursors[pi]];
+                let (case, seed) = &cases[cursors[pi]];
                 cursors[pi] += 1;
                 if executed.insert(case.sql.clone()) {
                     plan.push(PlannedCase {
                         sql: case.sql.clone(),
                         pattern: Some(case.pattern),
+                        seed: *seed,
                     });
                     progressed = true;
                     break;
@@ -351,20 +440,23 @@ fn build_plan(
             break;
         }
     }
-    (plan, generated_per_pattern)
+    Plan { cases: plan, generated_per_pattern, seed_functions, generate_latency }
 }
 
-/// Generates every pattern's case vector. Each pattern is independent, so
-/// the vectors can be produced on worker threads; the output is positionally
-/// identical to the serial loop for any worker count.
+/// Generates every pattern's case vector, each case tagged with the seed it
+/// derives from. Each pattern is independent, so the vectors can be produced
+/// on worker threads; the output is positionally identical to the serial
+/// loop for any worker count. The per-pattern wall-clock durations feed the
+/// telemetry generate-stage histogram and never influence the plan.
 fn generate_cases(
     collection: &Collection,
     ctx: &GenCtx,
     config: &CampaignConfig,
     active: &[PatternId],
     workers: usize,
-) -> Vec<Vec<GeneratedCase>> {
-    let generate_one = |pattern: PatternId| -> Vec<GeneratedCase> {
+) -> (Vec<Vec<(GeneratedCase, usize)>>, Vec<Duration>) {
+    let generate_one = |pattern: PatternId| -> (Vec<(GeneratedCase, usize)>, Duration) {
+        let t0 = Instant::now();
         // The cross-function patterns need wider per-seed budgets: their
         // search space is (seed × donor), not (seed × pool).
         let cap = match pattern {
@@ -372,53 +464,159 @@ fn generate_cases(
             PatternId::P2_3 => config.per_seed_cap.max(128),
             _ => config.per_seed_cap,
         };
-        let mut cases = Vec::new();
+        let mut tagged: Vec<(GeneratedCase, usize)> = Vec::new();
+        let mut buf: Vec<GeneratedCase> = Vec::new();
         for (si, seed) in collection.seeds.iter().enumerate() {
-            patterns::apply_salted(pattern, seed, ctx, cap, si, &mut cases);
+            patterns::apply_salted(pattern, seed, ctx, cap, si, &mut buf);
+            tagged.extend(buf.drain(..).map(|case| (case, si)));
         }
-        cases
+        (tagged, t0.elapsed())
     };
     if workers <= 1 || active.len() <= 1 {
-        return active.iter().map(|&p| generate_one(p)).collect();
+        let mut cases = Vec::with_capacity(active.len());
+        let mut durations = Vec::with_capacity(active.len());
+        for &p in active {
+            let (c, d) = generate_one(p);
+            cases.push(c);
+            durations.push(d);
+        }
+        return (cases, durations);
     }
     let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<(usize, Vec<GeneratedCase>)>> =
-        Mutex::new(Vec::with_capacity(active.len()));
+    type Generated = (usize, Vec<(GeneratedCase, usize)>, Duration);
+    let done: Mutex<Vec<Generated>> = Mutex::new(Vec::with_capacity(active.len()));
     std::thread::scope(|scope| {
         for _ in 0..workers.min(active.len()) {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(&pattern) = active.get(i) else { break };
-                let cases = generate_one(pattern);
-                done.lock().expect("generation results poisoned").push((i, cases));
+                let (cases, duration) = generate_one(pattern);
+                done.lock().expect("generation results poisoned").push((i, cases, duration));
             });
         }
     });
     let mut v = done.into_inner().expect("generation results poisoned");
-    v.sort_by_key(|&(i, _)| i);
-    v.into_iter().map(|(_, cases)| cases).collect()
+    v.sort_by_key(|&(i, _, _)| i);
+    let mut cases = Vec::with_capacity(v.len());
+    let mut durations = Vec::with_capacity(v.len());
+    for (_, c, d) in v {
+        cases.push(c);
+        durations.push(d);
+    }
+    (cases, durations)
+}
+
+/// The per-shard telemetry recorder: event buffer, coverage snapshots, and
+/// the parse/execute latency histograms. Only allocated when telemetry is
+/// on; the `Off` path pays a single `Option` check per statement.
+struct ShardObserver<'a> {
+    opts: &'a TelemetryOptions,
+    seed_functions: &'a [Option<String>],
+    events: Vec<StatementEvent>,
+    snapshots: Vec<(usize, Coverage)>,
+    latency: StageLatency,
+}
+
+impl<'a> ShardObserver<'a> {
+    fn new(opts: &'a TelemetryOptions, seed_functions: &'a [Option<String>], len: usize) -> Self {
+        ShardObserver {
+            opts,
+            seed_functions,
+            events: Vec::with_capacity(len),
+            snapshots: Vec::new(),
+            latency: StageLatency::new(),
+        }
+    }
+
+    /// Times the standalone parse and the engine execution of one
+    /// statement. `execute` includes the engine's internal parse (there is
+    /// no split entry point), so the parse histogram overlaps it by design.
+    fn execute_timed(&mut self, engine: &mut Engine, sql: &str) -> ExecOutcome {
+        let t = Instant::now();
+        let _ = soft_parser::parse_statement(sql);
+        self.latency.parse.record(t.elapsed());
+        let t = Instant::now();
+        let outcome = engine.execute(sql);
+        self.latency.execute.record(t.elapsed());
+        outcome
+    }
+
+    /// Records the event for one executed statement, plus the coverage
+    /// snapshot when the global index crosses the sampling interval.
+    fn observe(
+        &mut self,
+        engine: &Engine,
+        case: &PlannedCase,
+        shard: usize,
+        index: usize,
+        outcome: &ExecOutcome,
+    ) {
+        let function = match outcome {
+            ExecOutcome::Crash(c) if c.function.is_some() => c.function.clone(),
+            _ => self.seed_functions.get(case.seed).cloned().flatten(),
+        };
+        let fault_id = match outcome {
+            ExecOutcome::Crash(c) => Some(c.fault_id.clone()),
+            _ => None,
+        };
+        self.events.push(StatementEvent {
+            index,
+            shard,
+            seed: Some(case.seed),
+            pattern: case.pattern,
+            function,
+            outcome: OutcomeClass::of(outcome),
+            fault_id,
+        });
+        if index % self.opts.snapshot_interval.max(1) == 0 {
+            self.snapshots.push((index, engine.coverage().clone()));
+        }
+    }
+
+    fn finish(self, shard: usize, engine: &Engine) -> ShardTelemetry {
+        ShardTelemetry {
+            shard,
+            events: self.events,
+            snapshots: self.snapshots,
+            final_coverage: engine.coverage().clone(),
+            latency: self.latency,
+        }
+    }
 }
 
 /// Executes one shard of the planned stream on a private engine cloned from
-/// the prepared template. Pure function of (profile, template, shard slice):
+/// the prepared template. Pure function of (profile, template, shard range):
 /// no state is shared with other shards.
 fn run_shard(
     profile: &DialectProfile,
     template: &Engine,
     prep: &[String],
-    cases: &[PlannedCase],
+    plan: &Plan,
+    range: std::ops::Range<usize>,
     shard: usize,
-    start_offset: usize,
+    telemetry: Option<&TelemetryOptions>,
 ) -> ShardOutcome {
     let t0 = Instant::now();
+    let start_offset = range.start;
+    let cases = &plan.cases[range];
     let mut engine = template.clone();
     let mut found: HashSet<String> = HashSet::new();
     let mut findings: Vec<BugFinding> = Vec::new();
+    let mut observer =
+        telemetry.map(|opts| ShardObserver::new(opts, &plan.seed_functions, cases.len()));
     let mut crashes = 0usize;
     let mut false_positives = 0usize;
     let mut errors = 0usize;
     for (i, case) in cases.iter().enumerate() {
-        match engine.execute(&case.sql) {
+        let outcome = match &mut observer {
+            Some(obs) => {
+                let outcome = obs.execute_timed(&mut engine, &case.sql);
+                obs.observe(&engine, case, shard, start_offset + i + 1, &outcome);
+                outcome
+            }
+            None => engine.execute(&case.sql),
+        };
+        match outcome {
             ExecOutcome::Crash(c) => {
                 crashes += 1;
                 if found.insert(c.fault_id.clone()) {
@@ -465,6 +663,7 @@ fn run_shard(
             false_positives,
         },
         findings,
+        telemetry: observer.map(|obs| obs.finish(shard, &engine)),
         coverage: engine.coverage().clone(),
         nanos: t0.elapsed().as_nanos(),
     }
@@ -538,6 +737,8 @@ pub fn run_generator(
         generated_per_pattern: Vec::new(),
         // ... and they stream into a single engine, unsharded.
         shards: Vec::new(),
+        // ... and they carry no plan provenance, so no journal either.
+        telemetry: None,
     }
 }
 
@@ -625,6 +826,68 @@ mod tests {
             report.shards.iter().map(|s| s.false_positives).sum::<usize>(),
             report.false_positives
         );
+    }
+
+    #[test]
+    fn telemetry_matches_the_off_run_and_journals_every_statement() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig {
+            max_statements: 2_000,
+            per_seed_cap: 8,
+            ..CampaignConfig::default()
+        };
+        let tcfg =
+            CampaignConfig { telemetry: TelemetryConfig::with_interval(500), ..cfg.clone() };
+        let off = run_soft(&profile, &cfg);
+        let run = run_soft_parallel_timed(&profile, &tcfg, 2);
+        let on = run.report;
+        let tel = on.telemetry.as_ref().expect("telemetry recorded");
+
+        // One event per executed statement, indices 1..=n in order.
+        assert_eq!(tel.journal.events.len(), on.statements_executed);
+        assert!(tel.journal.events.iter().enumerate().all(|(i, e)| e.index == i + 1));
+
+        // Observation never changes results: stripping the telemetry field
+        // yields exactly the telemetry-off report.
+        let mut stripped = on.clone();
+        stripped.telemetry = None;
+        assert_eq!(stripped, off, "telemetry changed campaign results");
+
+        // The bug curve replays the findings merge: same faults, same
+        // discovery indices, same order.
+        assert_eq!(tel.curves.bugs.len(), on.findings.len());
+        for (b, f) in tel.curves.bugs.iter().zip(&on.findings) {
+            assert_eq!(b.fault_id, f.fault_id);
+            assert_eq!(b.statements, f.statements_until_found);
+        }
+
+        // Coverage snapshots land on interval multiples and grow.
+        assert!(!tel.curves.coverage.is_empty());
+        for p in &tel.curves.coverage {
+            assert_eq!(p.statements % 500, 0);
+        }
+        assert!(tel
+            .curves
+            .coverage
+            .windows(2)
+            .all(|w| w[0].branches <= w[1].branches && w[0].statements < w[1].statements));
+
+        // Wall-clock stage histograms: one execute (and parse) sample per
+        // statement, one minimize sample per unique finding, at least one
+        // generate sample per active pattern.
+        let latency = run.stage_latency.expect("stage latency recorded");
+        assert_eq!(latency.execute.samples() as usize, on.statements_executed);
+        assert_eq!(latency.parse.samples(), latency.execute.samples());
+        assert_eq!(latency.minimize.samples() as usize, on.findings.len());
+        assert_eq!(latency.generate.samples() as usize, on.generated_per_pattern.len());
+
+        // Yields reconcile with the report's counters.
+        let executed: usize =
+            tel.yields.per_pattern.values().map(|y| y.executed).sum();
+        let seed_replays = tel.journal.events.iter().filter(|e| e.pattern.is_none()).count();
+        assert_eq!(executed + seed_replays, on.statements_executed);
+        let unique: usize = tel.yields.per_pattern.values().map(|y| y.unique_bugs).sum();
+        assert_eq!(unique, on.findings.len());
     }
 
     #[test]

@@ -20,7 +20,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod collect;
@@ -36,3 +36,6 @@ pub use campaign::{
 };
 pub use patterns::{GenCtx, GeneratedCase};
 pub use report::{render_table4, BugFinding, CampaignReport, ShardStats};
+// The telemetry vocabulary, re-exported so campaign callers need not name
+// `soft-obs` directly.
+pub use soft_obs::{CampaignTelemetry, StageLatency, TelemetryConfig, TelemetryOptions};

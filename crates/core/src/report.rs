@@ -83,6 +83,15 @@ pub struct CampaignReport {
     ///
     /// [`run_generator`]: crate::campaign::run_generator
     pub shards: Vec<ShardStats>,
+    /// Deterministic campaign telemetry (event journal, yield metrics,
+    /// growth curves) when [`CampaignConfig::telemetry`] is on. Inside the
+    /// `PartialEq` surface on purpose: the worker-count-invariance guarantee
+    /// extends to the journal, event for event. Wall-clock telemetry (stage
+    /// latency histograms, shard timings) lives on
+    /// [`CampaignRun`](crate::campaign::CampaignRun) instead.
+    ///
+    /// [`CampaignConfig::telemetry`]: crate::campaign::CampaignConfig
+    pub telemetry: Option<soft_obs::CampaignTelemetry>,
 }
 
 impl CampaignReport {
@@ -115,6 +124,14 @@ impl CampaignReport {
     }
 
     /// Findings grouped per category, as Table 4 rows.
+    ///
+    /// Ordering audit (deterministic by construction, pinned by the
+    /// `ordering_is_pinned` test): rows come out of a `BTreeMap` keyed by
+    /// [`FunctionCategory`] (ascending `Ord`), and the kind / pattern
+    /// breakdown strings are joined from `BTreeMap`s too, so the output is
+    /// a pure function of the finding *set* — the order findings were
+    /// recorded in never leaks into the table. `by_kind` / `by_pattern`
+    /// likewise walk the fixed `::ALL` arrays, not the findings.
     pub fn table4_rows(&self) -> Vec<(FunctionCategory, usize, String, String)> {
         let mut rows: BTreeMap<FunctionCategory, Vec<&BugFinding>> = BTreeMap::new();
         for f in &self.findings {
@@ -227,6 +244,7 @@ mod tests {
                 errors: 5,
                 false_positives: 2,
             }],
+            telemetry: None,
         }
     }
 
@@ -242,6 +260,32 @@ mod tests {
         let rows = r.table4_rows();
         assert_eq!(rows.len(), 2);
         assert_eq!(rows[0].1 + rows[1].1, 3);
+    }
+
+    /// Pins the ordering audit of [`CampaignReport::table4_rows`]: every
+    /// rendered surface must be a pure function of the finding *set*, so
+    /// reversing the order findings were recorded in changes nothing, and
+    /// the row / legend orders follow the fixed `Ord` / `::ALL` orders.
+    #[test]
+    fn ordering_is_pinned() {
+        let forward = report();
+        let mut reversed = report();
+        reversed.findings.reverse();
+        assert_eq!(forward.table4_rows(), reversed.table4_rows());
+        assert_eq!(forward.by_kind(), reversed.by_kind());
+        assert_eq!(forward.by_pattern(), reversed.by_pattern());
+        assert_eq!(render_table4(&[forward.clone()]), render_table4(&[reversed]));
+
+        // Rows ascend in category order; breakdowns ascend alphabetically.
+        let rows = forward.table4_rows();
+        assert!(rows.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(rows[0].0, FunctionCategory::String);
+        assert_eq!(rows[0].3, "P1.2(1), P3.3(1)");
+        // by_pattern follows PatternId::ALL order, not discovery order.
+        assert_eq!(
+            forward.by_pattern(),
+            vec![(PatternId::P1_2, 1), (PatternId::P2_1, 1), (PatternId::P3_3, 1)]
+        );
     }
 
     #[test]

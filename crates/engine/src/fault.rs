@@ -73,6 +73,12 @@ impl PatternId {
         }
     }
 
+    /// Parses a paper label (`P1.2`) back into the pattern — the inverse of
+    /// [`PatternId::label`], used by the telemetry journal reader.
+    pub fn from_label(label: &str) -> Option<PatternId> {
+        PatternId::ALL.into_iter().find(|p| p.label() == label)
+    }
+
     /// The pattern group (1 = literals, 2 = castings, 3 = nested functions).
     pub fn group(&self) -> u8 {
         match self {

@@ -1,0 +1,156 @@
+//! Coverage-growth and unique-bug-growth series (the §7.5 analogue).
+//!
+//! The paper plots unique bugs over a 24-hour run; the reproduction's
+//! budget is statements, so both series are indexed by the global statement
+//! count. Points are pure data (set cardinalities at deterministic sample
+//! indices), so the series participate in the campaign report's equality.
+
+use crate::event::{OutcomeClass, StatementEvent};
+use std::collections::HashSet;
+use std::fmt::Write as _;
+
+/// One sample of the coverage-vs-statements series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CoveragePoint {
+    /// Global statements executed when the snapshot was taken.
+    pub statements: usize,
+    /// Distinct built-in functions triggered so far (Table 5 metric).
+    pub functions: usize,
+    /// Distinct branches covered so far (Table 6 metric).
+    pub branches: usize,
+}
+
+/// One step of the unique-bugs-vs-statements series: a new unique fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BugPoint {
+    /// Global statement index at which the fault first fired.
+    pub statements: usize,
+    /// Unique bugs found up to and including this statement.
+    pub unique_bugs: usize,
+    /// The fault that became unique here.
+    pub fault_id: String,
+}
+
+/// The two growth series together.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GrowthCurves {
+    /// Coverage snapshots, in statement order.
+    pub coverage: Vec<CoveragePoint>,
+    /// Unique-bug steps, in statement order.
+    pub bugs: Vec<BugPoint>,
+}
+
+impl GrowthCurves {
+    /// Derives the unique-bug series from a globally ordered event stream
+    /// (first occurrence of each fault id wins — the same dedup rule the
+    /// campaign's finding merge applies).
+    pub fn bugs_from_events(events: &[StatementEvent]) -> Vec<BugPoint> {
+        let mut seen: HashSet<&str> = HashSet::new();
+        let mut out = Vec::new();
+        for e in events {
+            if e.outcome != OutcomeClass::Crash {
+                continue;
+            }
+            let Some(fault) = e.fault_id.as_deref() else { continue };
+            if seen.insert(fault) {
+                out.push(BugPoint {
+                    statements: e.index,
+                    unique_bugs: seen.len(),
+                    fault_id: fault.to_string(),
+                });
+            }
+        }
+        out
+    }
+
+    /// Renders both series as aligned text curves with bar gauges — the
+    /// `repro trace` output.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        if !self.bugs.is_empty() {
+            out.push_str("unique bugs vs statements\n");
+            let max = self.bugs.last().map(|b| b.unique_bugs).unwrap_or(1).max(1);
+            for b in &self.bugs {
+                let _ = writeln!(
+                    out,
+                    "{:>10} {:>4}  {}  {}",
+                    b.statements,
+                    b.unique_bugs,
+                    bar(b.unique_bugs, max),
+                    b.fault_id
+                );
+            }
+        }
+        if !self.coverage.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str("coverage vs statements (functions / branches)\n");
+            let max = self.coverage.iter().map(|p| p.branches).max().unwrap_or(1).max(1);
+            for p in &self.coverage {
+                let _ = writeln!(
+                    out,
+                    "{:>10} {:>6} {:>8}  {}",
+                    p.statements,
+                    p.functions,
+                    p.branches,
+                    bar(p.branches, max)
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A 32-column proportional bar.
+fn bar(value: usize, max: usize) -> String {
+    let cols = (value * 32 + max - 1) / max.max(1);
+    "#".repeat(cols.min(32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn crash(index: usize, fault: &str) -> StatementEvent {
+        StatementEvent {
+            index,
+            shard: 0,
+            seed: Some(0),
+            pattern: None,
+            function: None,
+            outcome: OutcomeClass::Crash,
+            fault_id: Some(fault.to_string()),
+        }
+    }
+
+    #[test]
+    fn bug_series_dedups_in_order() {
+        let events = vec![
+            StatementEvent::seed(1, 0, 0, None),
+            crash(2, "f-a"),
+            crash(3, "f-a"),
+            crash(5, "f-b"),
+        ];
+        let bugs = GrowthCurves::bugs_from_events(&events);
+        assert_eq!(bugs.len(), 2);
+        assert_eq!((bugs[0].statements, bugs[0].unique_bugs), (2, 1));
+        assert_eq!((bugs[1].statements, bugs[1].unique_bugs), (5, 2));
+    }
+
+    #[test]
+    fn render_shows_both_series() {
+        let curves = GrowthCurves {
+            coverage: vec![
+                CoveragePoint { statements: 100, functions: 10, branches: 50 },
+                CoveragePoint { statements: 200, functions: 14, branches: 90 },
+            ],
+            bugs: GrowthCurves::bugs_from_events(&[crash(7, "f-x")]),
+        };
+        let text = curves.render();
+        assert!(text.contains("unique bugs vs statements"));
+        assert!(text.contains("coverage vs statements"));
+        assert!(text.contains("f-x"));
+        assert!(text.contains('#'));
+    }
+}

@@ -1,0 +1,126 @@
+//! The statement-level event record.
+
+use soft_engine::{ExecOutcome, PatternId, SqlError};
+
+/// What executing one statement produced, collapsed to the four classes the
+/// campaign distinguishes (result rows and non-query successes are both
+/// "ok"; resource-limit kills are the paper's false-positive class and get
+/// their own bucket so yield tables can report them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum OutcomeClass {
+    /// The statement executed successfully (rows or an ok message).
+    Ok,
+    /// An ordinary SQL error.
+    Error,
+    /// A resource-limit kill (the false-positive class).
+    ResourceLimit,
+    /// A modelled memory-safety crash.
+    Crash,
+}
+
+impl OutcomeClass {
+    /// Every class, in journal rendering order.
+    pub const ALL: [OutcomeClass; 4] = [
+        OutcomeClass::Ok,
+        OutcomeClass::Error,
+        OutcomeClass::ResourceLimit,
+        OutcomeClass::Crash,
+    ];
+
+    /// Classifies an engine outcome.
+    pub fn of(outcome: &ExecOutcome) -> OutcomeClass {
+        match outcome {
+            ExecOutcome::Rows(_) | ExecOutcome::Ok(_) => OutcomeClass::Ok,
+            ExecOutcome::Error(SqlError::ResourceLimit(_)) => OutcomeClass::ResourceLimit,
+            ExecOutcome::Error(_) => OutcomeClass::Error,
+            ExecOutcome::Crash(_) => OutcomeClass::Crash,
+        }
+    }
+
+    /// The journal label (`ok`, `error`, `resource-limit`, `crash`).
+    pub fn label(&self) -> &'static str {
+        match self {
+            OutcomeClass::Ok => "ok",
+            OutcomeClass::Error => "error",
+            OutcomeClass::ResourceLimit => "resource-limit",
+            OutcomeClass::Crash => "crash",
+        }
+    }
+
+    /// Parses a journal label back into a class.
+    pub fn from_label(label: &str) -> Option<OutcomeClass> {
+        OutcomeClass::ALL.into_iter().find(|c| c.label() == label)
+    }
+}
+
+/// One executed statement of the campaign stream.
+///
+/// Events are recorded per shard and merged into global statement order; the
+/// `index` is the 1-based position in the *planned* stream (the same number
+/// `BugFinding::statements_until_found` reports for findings), so the
+/// journal from any worker count is identical event-for-event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatementEvent {
+    /// 1-based global statement index (monotonic across the whole campaign).
+    pub index: usize,
+    /// The shard that executed the statement.
+    pub shard: usize,
+    /// Index of the seed the statement derives from (`None` only for
+    /// statements whose provenance is unknown, e.g. external generators).
+    pub seed: Option<usize>,
+    /// The pattern that generated the statement (`None` for phase-1 seed
+    /// replays).
+    pub pattern: Option<PatternId>,
+    /// The statement's target function: the crash site when it crashed,
+    /// otherwise the root function of the originating seed.
+    pub function: Option<String>,
+    /// Outcome class.
+    pub outcome: OutcomeClass,
+    /// The deduplication key of the crash, when `outcome` is
+    /// [`OutcomeClass::Crash`].
+    pub fault_id: Option<String>,
+}
+
+impl StatementEvent {
+    /// Convenience constructor for a successful phase-1 seed replay.
+    pub fn seed(index: usize, shard: usize, seed: usize, function: Option<String>) -> Self {
+        StatementEvent {
+            index,
+            shard,
+            seed: Some(seed),
+            pattern: None,
+            function,
+            outcome: OutcomeClass::Ok,
+            fault_id: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_round_trip() {
+        for class in OutcomeClass::ALL {
+            assert_eq!(OutcomeClass::from_label(class.label()), Some(class));
+        }
+        assert_eq!(OutcomeClass::from_label("segfault"), None);
+    }
+
+    #[test]
+    fn classification_matches_outcomes() {
+        assert_eq!(
+            OutcomeClass::of(&ExecOutcome::Ok("done".into())),
+            OutcomeClass::Ok
+        );
+        assert_eq!(
+            OutcomeClass::of(&ExecOutcome::Error(SqlError::ResourceLimit("oom".into()))),
+            OutcomeClass::ResourceLimit
+        );
+        assert_eq!(
+            OutcomeClass::of(&ExecOutcome::Error(SqlError::Parse("bad".into()))),
+            OutcomeClass::Error
+        );
+    }
+}

@@ -1,0 +1,282 @@
+//! The statement-level event journal and its JSONL sink.
+//!
+//! Shards buffer events privately; [`Journal::merge_shards`] concatenates
+//! the buffers and sorts by the global statement index, which is assigned
+//! at *planning* time — so the merged journal is identical for any worker
+//! count, event for event. The JSONL form is one flat object per line:
+//!
+//! ```text
+//! {"type": "campaign", "dialect": "MonetDB", "statements": 1000, ...}
+//! {"type": "generated", "pattern": "P1.1", "cases": 64}
+//! {"type": "stmt", "index": 1, "shard": 0, "seed": 0, ...}
+//! {"type": "coverage", "statements": 500, "functions": 120, "branches": 900}
+//! ```
+
+use crate::curve::CoveragePoint;
+use crate::event::{OutcomeClass, StatementEvent};
+use crate::json::{self, JsonValue};
+use soft_engine::PatternId;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// A globally ordered event journal.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Journal {
+    /// Events in global statement order (strictly increasing `index`).
+    pub events: Vec<StatementEvent>,
+}
+
+impl Journal {
+    /// Merges per-shard event buffers into global statement order.
+    ///
+    /// The merge is a sort on the planned statement index — completion order
+    /// and scheduling never leak in. Panics (debug assertion) if two events
+    /// claim the same index, which would mean the planner handed the same
+    /// statement to two shards.
+    pub fn merge_shards(shards: Vec<Vec<StatementEvent>>) -> Journal {
+        let mut events: Vec<StatementEvent> = shards.into_iter().flatten().collect();
+        events.sort_by_key(|e| e.index);
+        debug_assert!(
+            events.windows(2).all(|w| w[0].index < w[1].index),
+            "duplicate statement index in journal"
+        );
+        Journal { events }
+    }
+
+    /// Number of distinct fault ids among crash events.
+    pub fn unique_faults(&self) -> usize {
+        let mut faults: Vec<&str> =
+            self.events.iter().filter_map(|e| e.fault_id.as_deref()).collect();
+        faults.sort_unstable();
+        faults.dedup();
+        faults.len()
+    }
+
+    /// Outcome-class counts, in [`OutcomeClass::ALL`] order.
+    pub fn outcome_counts(&self) -> [(OutcomeClass, usize); 4] {
+        OutcomeClass::ALL
+            .map(|class| (class, self.events.iter().filter(|e| e.outcome == class).count()))
+    }
+
+    /// Renders one event as a JSONL line (without trailing newline).
+    pub fn event_line(e: &StatementEvent) -> String {
+        let mut fields = vec![
+            json::str_field("type", "stmt"),
+            json::num_field("index", e.index as i64),
+            json::num_field("shard", e.shard as i64),
+        ];
+        match e.seed {
+            Some(s) => fields.push(json::num_field("seed", s as i64)),
+            None => fields.push("\"seed\": null".to_string()),
+        }
+        match e.pattern {
+            Some(p) => fields.push(json::str_field("pattern", p.label())),
+            None => fields.push("\"pattern\": null".to_string()),
+        }
+        match &e.function {
+            Some(f) => fields.push(json::str_field("function", f)),
+            None => fields.push("\"function\": null".to_string()),
+        }
+        fields.push(json::str_field("outcome", e.outcome.label()));
+        match &e.fault_id {
+            Some(f) => fields.push(json::str_field("fault", f)),
+            None => fields.push("\"fault\": null".to_string()),
+        }
+        format!("{{{}}}", fields.join(", "))
+    }
+}
+
+/// A parsed journal file: the campaign header plus all record streams.
+///
+/// This is what `repro trace` operates on; it carries enough to rebuild the
+/// yield tables and both growth curves without re-running the campaign.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TraceFile {
+    /// Dialect name from the campaign header (e.g. `MonetDB`).
+    pub dialect: Option<String>,
+    /// Total statements the campaign executed, from the header.
+    pub statements: Option<usize>,
+    /// Coverage snapshot interval, from the header.
+    pub snapshot_interval: Option<usize>,
+    /// Pre-dedup per-pattern generation counts.
+    pub generated: Vec<(PatternId, usize)>,
+    /// The event journal, in global statement order.
+    pub journal: Journal,
+    /// Coverage snapshots, in statement order.
+    pub coverage: Vec<CoveragePoint>,
+}
+
+impl TraceFile {
+    /// Parses a JSONL journal document. Unknown record types are ignored
+    /// (forward compatibility); malformed lines are errors.
+    pub fn parse(text: &str) -> Result<TraceFile, String> {
+        let mut out = TraceFile::default();
+        let mut events = Vec::new();
+        for (lineno, line) in text.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obj = json::parse_object(line)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let kind = obj.get("type").and_then(JsonValue::as_str).unwrap_or("");
+            match kind {
+                "campaign" => {
+                    out.dialect =
+                        obj.get("dialect").and_then(JsonValue::as_str).map(str::to_string);
+                    out.statements = get_usize(&obj, "statements");
+                    out.snapshot_interval = get_usize(&obj, "snapshot_interval");
+                }
+                "generated" => {
+                    let pattern = obj
+                        .get("pattern")
+                        .and_then(JsonValue::as_str)
+                        .and_then(PatternId::from_label)
+                        .ok_or_else(|| format!("line {}: bad pattern", lineno + 1))?;
+                    let cases = get_usize(&obj, "cases")
+                        .ok_or_else(|| format!("line {}: missing cases", lineno + 1))?;
+                    out.generated.push((pattern, cases));
+                }
+                "stmt" => events.push(parse_event(&obj, lineno + 1)?),
+                "coverage" => out.coverage.push(CoveragePoint {
+                    statements: get_usize(&obj, "statements")
+                        .ok_or_else(|| format!("line {}: missing statements", lineno + 1))?,
+                    functions: get_usize(&obj, "functions").unwrap_or(0),
+                    branches: get_usize(&obj, "branches").unwrap_or(0),
+                }),
+                _ => {}
+            }
+        }
+        events.sort_by_key(|e: &StatementEvent| e.index);
+        out.journal = Journal { events };
+        Ok(out)
+    }
+
+    /// Serialises the trace back to its JSONL form.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        let mut header = vec![json::str_field("type", "campaign")];
+        if let Some(d) = &self.dialect {
+            header.push(json::str_field("dialect", d));
+        }
+        if let Some(n) = self.statements {
+            header.push(json::num_field("statements", n as i64));
+        }
+        if let Some(n) = self.snapshot_interval {
+            header.push(json::num_field("snapshot_interval", n as i64));
+        }
+        header.push(json::num_field("events", self.journal.events.len() as i64));
+        let _ = writeln!(out, "{{{}}}", header.join(", "));
+        for &(pattern, cases) in &self.generated {
+            let _ = writeln!(
+                out,
+                "{{{}, {}, {}}}",
+                json::str_field("type", "generated"),
+                json::str_field("pattern", pattern.label()),
+                json::num_field("cases", cases as i64)
+            );
+        }
+        for e in &self.journal.events {
+            out.push_str(&Journal::event_line(e));
+            out.push('\n');
+        }
+        for p in &self.coverage {
+            let _ = writeln!(
+                out,
+                "{{{}, {}, {}, {}}}",
+                json::str_field("type", "coverage"),
+                json::num_field("statements", p.statements as i64),
+                json::num_field("functions", p.functions as i64),
+                json::num_field("branches", p.branches as i64)
+            );
+        }
+        out
+    }
+}
+
+fn get_usize(obj: &BTreeMap<String, JsonValue>, key: &str) -> Option<usize> {
+    obj.get(key).and_then(JsonValue::as_num).and_then(|n| usize::try_from(n).ok())
+}
+
+fn parse_event(
+    obj: &BTreeMap<String, JsonValue>,
+    lineno: usize,
+) -> Result<StatementEvent, String> {
+    Ok(StatementEvent {
+        index: get_usize(obj, "index").ok_or_else(|| format!("line {lineno}: missing index"))?,
+        shard: get_usize(obj, "shard").unwrap_or(0),
+        seed: get_usize(obj, "seed"),
+        pattern: obj
+            .get("pattern")
+            .and_then(JsonValue::as_str)
+            .and_then(PatternId::from_label),
+        function: obj.get("function").and_then(JsonValue::as_str).map(str::to_string),
+        outcome: obj
+            .get("outcome")
+            .and_then(JsonValue::as_str)
+            .and_then(OutcomeClass::from_label)
+            .ok_or_else(|| format!("line {lineno}: bad outcome"))?,
+        fault_id: obj.get("fault").and_then(JsonValue::as_str).map(str::to_string),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace() -> TraceFile {
+        let mut crash = StatementEvent::seed(3, 1, 4, Some("substr".into()));
+        crash.pattern = Some(PatternId::P2_1);
+        crash.outcome = OutcomeClass::Crash;
+        crash.fault_id = Some("demo-001".into());
+        TraceFile {
+            dialect: Some("MonetDB".into()),
+            statements: Some(3),
+            snapshot_interval: Some(2),
+            generated: vec![(PatternId::P1_1, 12), (PatternId::P2_1, 9)],
+            journal: Journal::merge_shards(vec![
+                vec![crash],
+                vec![
+                    StatementEvent::seed(1, 0, 0, Some("floor".into())),
+                    StatementEvent::seed(2, 0, 1, None),
+                ],
+            ]),
+            coverage: vec![CoveragePoint { statements: 2, functions: 5, branches: 40 }],
+        }
+    }
+
+    #[test]
+    fn merge_orders_events_globally() {
+        let t = sample_trace();
+        let indices: Vec<usize> = t.journal.events.iter().map(|e| e.index).collect();
+        assert_eq!(indices, vec![1, 2, 3]);
+        assert_eq!(t.journal.unique_faults(), 1);
+        let counts = t.journal.outcome_counts();
+        assert_eq!(counts[0], (OutcomeClass::Ok, 2));
+        assert_eq!(counts[3], (OutcomeClass::Crash, 1));
+    }
+
+    #[test]
+    fn jsonl_round_trips_exactly() {
+        let t = sample_trace();
+        let text = t.to_jsonl();
+        let parsed = TraceFile::parse(&text).expect("parses");
+        assert_eq!(parsed, t);
+        // And the serialised form is stable (byte-identical re-render).
+        assert_eq!(parsed.to_jsonl(), text);
+    }
+
+    #[test]
+    fn unknown_record_types_are_ignored() {
+        let text = "{\"type\": \"future-record\", \"x\": 1}\n";
+        let parsed = TraceFile::parse(text).expect("parses");
+        assert!(parsed.journal.events.is_empty());
+    }
+
+    #[test]
+    fn malformed_lines_are_reported_with_line_numbers() {
+        let err = TraceFile::parse("{\"type\": \"stmt\"}\n").expect_err("missing index");
+        assert!(err.contains("line 1"), "{err}");
+        let err = TraceFile::parse("not json\n").expect_err("bad line");
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

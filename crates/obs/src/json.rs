@@ -1,0 +1,256 @@
+//! Hand-rolled, std-only JSON helpers for the JSONL journal sink.
+//!
+//! The workspace is hermetic (no `serde`), so the journal uses the same
+//! idiom as `soft-bench`'s `BENCH_*.json` writer: strings are escaped by
+//! hand and records are assembled with `format!`. This module adds the
+//! *reader* side — a deliberately minimal parser for the flat (non-nested)
+//! one-line objects the journal emits — so `repro trace` can analyze a
+//! journal without any external crate.
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON scalar. The journal only ever writes flat objects whose
+/// values are strings, integers, or `null`, so that is all the reader
+/// models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// A JSON string (unescaped).
+    Str(String),
+    /// A JSON number (the journal only writes integers, parsed as `i64`).
+    Num(i64),
+    /// JSON `null`.
+    Null,
+}
+
+impl JsonValue {
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload, if this is a number.
+    pub fn as_num(&self) -> Option<i64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one `"key": value` pair for a string value.
+pub fn str_field(key: &str, value: &str) -> String {
+    format!("\"{}\": \"{}\"", escape(key), escape(value))
+}
+
+/// Renders one `"key": value` pair for an integer value.
+pub fn num_field(key: &str, value: i64) -> String {
+    format!("\"{}\": {}", escape(key), value)
+}
+
+/// Parses one flat JSON object line (`{"k": "v", "n": 3, "x": null}`) into
+/// a key → value map. Rejects nesting, arrays, floats, and trailing junk —
+/// the journal never writes them, and a reader that silently accepted a
+/// malformed journal would mask sink bugs.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+    let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = BTreeMap::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            out.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes after object at offset {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        match self.next() {
+            Some(b) if b == want => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'n') => {
+                if self.bytes[self.pos..].starts_with(b"null") {
+                    self.pos += 4;
+                    Ok(JsonValue::Null)
+                } else {
+                    Err("bad literal (expected null)".into())
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(format!("unsupported value start {other:?}")),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<i64>().map(JsonValue::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        if self.pos + 4 > self.bytes.len() {
+                            return Err("truncated \\u escape".into());
+                        }
+                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+                            .map_err(|_| "non-utf8 \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
+                        self.pos += 4;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(b) => {
+                    // Re-decode the UTF-8 sequence starting at `b`.
+                    let len = utf8_len(b);
+                    let start = self.pos - 1;
+                    if start + len > self.bytes.len() {
+                        return Err("truncated utf-8 sequence".into());
+                    }
+                    let s = std::str::from_utf8(&self.bytes[start..start + len])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = start + len;
+                }
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_round_trips_through_the_parser() {
+        let nasty = "a\"b\\c\nd\te\u{1}é—🦀";
+        let line = format!("{{{}}}", str_field("k", nasty));
+        let obj = parse_object(&line).expect("parses");
+        assert_eq!(obj["k"].as_str(), Some(nasty));
+    }
+
+    #[test]
+    fn parses_flat_objects_with_mixed_values() {
+        let obj = parse_object(r#"{"type": "stmt", "index": 42, "fault": null, "neg": -7}"#)
+            .expect("parses");
+        assert_eq!(obj["type"].as_str(), Some("stmt"));
+        assert_eq!(obj["index"].as_num(), Some(42));
+        assert_eq!(obj["fault"], JsonValue::Null);
+        assert_eq!(obj["neg"].as_num(), Some(-7));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "{",
+            "{\"a\" 1}",
+            "{\"a\": 1} trailing",
+            "{\"a\": [1]}",
+            "{\"a\": 1.5}",
+            "not json",
+            "{\"a\": nul}",
+        ] {
+            assert!(parse_object(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn empty_object_parses() {
+        assert!(parse_object("{}").expect("parses").is_empty());
+    }
+}

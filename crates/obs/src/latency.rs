@@ -1,0 +1,224 @@
+//! Fixed-bucket wall-clock latency histograms per pipeline stage.
+//!
+//! These are the only *non-deterministic* telemetry: they measure real time
+//! and therefore live outside the campaign report's `PartialEq` surface
+//! (next to `ShardTiming`, on `soft_core::campaign::CampaignRun`'s side of
+//! the split).
+
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Number of histogram buckets. Bucket `i` counts samples in
+/// `[2^i, 2^(i+1))` nanoseconds; the last bucket is open-ended, covering
+/// everything from ~34 seconds up.
+pub const BUCKETS: usize = 36;
+
+/// A log2-bucketed latency histogram (nanosecond resolution, fixed
+/// allocation, mergeable).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; BUCKETS],
+    total_ns: u128,
+    samples: u64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram { counts: [0; BUCKETS], total_ns: 0, samples: 0 }
+    }
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: Duration) {
+        let ns = d.as_nanos();
+        let bucket = if ns <= 1 {
+            0
+        } else {
+            (127 - (ns.max(1)).leading_zeros() as usize).min(BUCKETS - 1)
+        };
+        self.counts[bucket] += 1;
+        self.total_ns += ns;
+        self.samples += 1;
+    }
+
+    /// Number of samples recorded.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Mean nanoseconds per sample (0 when empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            self.total_ns as f64 / self.samples as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (0.0–1.0), in nanoseconds: the
+    /// inclusive upper edge of the bucket the quantile falls in. `None` when
+    /// the histogram is empty.
+    pub fn quantile_ns(&self, q: f64) -> Option<u64> {
+        if self.samples == 0 {
+            return None;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.samples as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &n) in self.counts.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i + 1 >= 64 { u64::MAX } else { (1u64 << (i + 1)) - 1 });
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.total_ns += other.total_ns;
+        self.samples += other.samples;
+    }
+
+    /// The raw bucket counts (bucket `i` covers `[2^i, 2^(i+1))` ns).
+    pub fn buckets(&self) -> &[u64; BUCKETS] {
+        &self.counts
+    }
+}
+
+/// Per-stage latency histograms for the campaign pipeline.
+///
+/// `execute` includes the engine's internal parse (the engine has no split
+/// entry point); `parse` is measured by parsing the statement standalone, so
+/// the two overlap by one parse — documented in EXPERIMENTS.md.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct StageLatency {
+    /// Pattern-based case generation, one sample per (pattern) batch.
+    pub generate: LatencyHistogram,
+    /// Standalone statement parsing, one sample per executed statement.
+    pub parse: LatencyHistogram,
+    /// Engine execution (including its internal parse), one sample per
+    /// executed statement.
+    pub execute: LatencyHistogram,
+    /// PoC minimisation, one sample per unique finding.
+    pub minimize: LatencyHistogram,
+}
+
+impl StageLatency {
+    /// An empty set of stage histograms.
+    pub fn new() -> StageLatency {
+        StageLatency::default()
+    }
+
+    /// Merges another stage set into this one.
+    pub fn merge(&mut self, other: &StageLatency) {
+        self.generate.merge(&other.generate);
+        self.parse.merge(&other.parse);
+        self.execute.merge(&other.execute);
+        self.minimize.merge(&other.minimize);
+    }
+
+    /// Renders a `stage → samples / mean / p50 / p99` table.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "{:<10} {:>10} {:>12} {:>12} {:>12}\n",
+            "stage", "samples", "mean", "p50", "p99"
+        );
+        for (name, h) in [
+            ("generate", &self.generate),
+            ("parse", &self.parse),
+            ("execute", &self.execute),
+            ("minimize", &self.minimize),
+        ] {
+            let _ = writeln!(
+                out,
+                "{:<10} {:>10} {:>12} {:>12} {:>12}",
+                name,
+                h.samples(),
+                fmt_ns(h.mean_ns()),
+                h.quantile_ns(0.50).map_or_else(|| "-".into(), |n| fmt_ns(n as f64)),
+                h.quantile_ns(0.99).map_or_else(|| "-".into(), |n| fmt_ns(n as f64)),
+            );
+        }
+        out
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.2} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.2} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.2} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_into_log2_buckets() {
+        let mut h = LatencyHistogram::new();
+        h.record(Duration::from_nanos(1)); // bucket 0
+        h.record(Duration::from_nanos(3)); // bucket 1
+        h.record(Duration::from_nanos(1024)); // bucket 10
+        assert_eq!(h.samples(), 3);
+        assert_eq!(h.buckets()[0], 1);
+        assert_eq!(h.buckets()[1], 1);
+        assert_eq!(h.buckets()[10], 1);
+    }
+
+    #[test]
+    fn quantiles_bound_the_samples() {
+        let mut h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_nanos(100));
+        }
+        h.record(Duration::from_micros(100));
+        let p50 = h.quantile_ns(0.5).expect("non-empty");
+        let p99 = h.quantile_ns(0.99).expect("non-empty");
+        assert!(p50 >= 100 && p50 < 256, "p50 = {p50}");
+        assert!(p99 < 100_000 * 2, "p99 = {p99}");
+        assert!(h.quantile_ns(1.0).expect("non-empty") >= 100_000);
+    }
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(LatencyHistogram::new().quantile_ns(0.5), None);
+        assert_eq!(LatencyHistogram::new().mean_ns(), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_samples() {
+        let mut a = LatencyHistogram::new();
+        a.record(Duration::from_nanos(10));
+        let mut b = LatencyHistogram::new();
+        b.record(Duration::from_nanos(10));
+        b.record(Duration::from_micros(5));
+        a.merge(&b);
+        assert_eq!(a.samples(), 3);
+        assert!(a.mean_ns() > 10.0);
+    }
+
+    #[test]
+    fn stage_render_lists_all_stages() {
+        let mut s = StageLatency::new();
+        s.execute.record(Duration::from_micros(3));
+        let text = s.render();
+        for stage in ["generate", "parse", "execute", "minimize"] {
+            assert!(text.contains(stage), "missing {stage} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Campaign observability (`soft-obs`).
+//!
+//! The paper's evaluation needs *visibility into the campaign*: Table 4's
+//! per-category yields, Table 6's coverage comparison, and the §7.5
+//! unique-bugs-over-time curves all presuppose knowing, per statement, which
+//! pattern fired, what the outcome was, and how coverage grew. This crate is
+//! that layer for the reproduction's campaign runner:
+//!
+//! * [`event`] — the statement-level [`StatementEvent`]: seed id, pattern
+//!   id, target function, outcome class, fault id, and a monotonic global
+//!   statement index;
+//! * [`journal`] — per-shard event buffers merged deterministically into
+//!   global statement order, plus the JSONL sink and its reader;
+//! * [`metrics`] — per-pattern and per-function-category
+//!   generated/executed/crashing yield counters;
+//! * [`latency`] — fixed-bucket wall-clock histograms per pipeline stage
+//!   (generate, parse, execute, minimize);
+//! * [`curve`] — coverage-vs-statements and unique-bugs-vs-statements
+//!   growth series (the §7.5 analogue);
+//! * [`telemetry`] — the [`TelemetryConfig`] campaign knob, the per-shard
+//!   recorder, and the deterministic shard merge;
+//! * [`json`] — the hand-rolled std-only JSON helpers behind the JSONL
+//!   sink (the same idiom as `soft-bench`'s `BENCH_*.json` writer).
+//!
+//! # Determinism
+//!
+//! Everything except the latency histograms is a pure function of the
+//! campaign configuration: events are recorded against the *planned*
+//! statement stream (whose shard decomposition never depends on the worker
+//! count) and merged by global statement index, so a telemetry-on parallel
+//! run produces the same journal, yields, and curves event-for-event as the
+//! serial reference. Wall-clock histograms are kept on a separate surface
+//! ([`StageLatency`]) precisely so reports can stay byte-comparable.
+//!
+//! # Examples
+//!
+//! ```
+//! use soft_obs::{Journal, OutcomeClass, StatementEvent};
+//!
+//! let shard0 = vec![StatementEvent::seed(1, 0, 0, Some("floor".into()))];
+//! let mut crash = StatementEvent::seed(2, 0, 1, Some("substr".into()));
+//! crash.outcome = OutcomeClass::Crash;
+//! crash.fault_id = Some("demo-001".into());
+//! let journal = Journal::merge_shards(vec![vec![crash], shard0]);
+//! assert_eq!(journal.events[0].index, 1);
+//! assert_eq!(journal.unique_faults(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod curve;
+pub mod event;
+pub mod journal;
+pub mod json;
+pub mod latency;
+pub mod metrics;
+pub mod telemetry;
+
+pub use curve::{BugPoint, CoveragePoint, GrowthCurves};
+pub use event::{OutcomeClass, StatementEvent};
+pub use journal::{Journal, TraceFile};
+pub use latency::{LatencyHistogram, StageLatency};
+pub use metrics::{CategoryYield, PatternYield, YieldMetrics};
+pub use telemetry::{
+    CampaignTelemetry, ShardTelemetry, TelemetryConfig, TelemetryOptions,
+};

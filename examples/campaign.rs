@@ -1,13 +1,16 @@
 //! The full Table 4 campaign: run SOFT against all seven simulated DBMSs
-//! and print the per-row results next to the paper's ground truth.
+//! and print the per-row results next to the paper's ground truth, then a
+//! telemetry-instrumented rerun of one target showing the yield tables and
+//! growth curves (see `docs/EXPERIMENTS.md`, "Telemetry knobs").
 //!
 //! ```sh
 //! cargo run --release --example campaign [budget]
 //! ```
 
 use soft_repro::dialects::{DialectId, DialectProfile};
-use soft_repro::soft::campaign::{run_campaign, CampaignConfig};
+use soft_repro::soft::campaign::{run_campaign, run_soft_parallel_timed, CampaignConfig};
 use soft_repro::soft::report::render_table4;
+use soft_repro::soft::{TelemetryConfig, TelemetryOptions};
 
 fn main() {
     let budget: usize = std::env::args()
@@ -40,4 +43,28 @@ fn main() {
     }
     println!("\n{}", render_table4(&reports));
     println!("grand total: {found}/{expected} (paper: 132 confirmed, 97 fixed)");
+
+    // Telemetry demonstration: rerun one target with the observability
+    // ledger on. The report stays byte-identical to an Off-mode run (the
+    // journal, yields, and curves are derived, not steering), and the
+    // wall-clock stage latencies live outside the report's equality.
+    let demo_budget = (budget / 10).clamp(2_000, 20_000);
+    println!("\ntelemetry demo: ClickHouse, {demo_budget}-statement budget\n");
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: demo_budget,
+        per_seed_cap: 64,
+        telemetry: TelemetryConfig::On(TelemetryOptions {
+            snapshot_interval: demo_budget / 10,
+            journal_path: None,
+        }),
+        ..CampaignConfig::default()
+    };
+    let run = run_soft_parallel_timed(&profile, &cfg, soft_repro::soft::default_workers());
+    let telemetry = run.report.telemetry.as_ref().expect("telemetry was on");
+    println!("{}", telemetry.yields.render_pattern_table());
+    println!("{}", telemetry.curves.render());
+    if let Some(latency) = &run.stage_latency {
+        println!("{}", latency.render());
+    }
 }

