@@ -2,23 +2,38 @@
 //!
 //! Usage: `repro <artifact> [--budget N]` where artifact is one of
 //! `table1 table2 table3 figure1 findings rootcauses table4 figure2
-//! table5 table6 bugs24h cases all`, plus the two telemetry commands:
+//! table5 table6 bugs24h cases all`, plus the campaign/triage commands:
 //!
-//! * `repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]`
-//!   runs one telemetry-on campaign and (optionally) writes its JSONL
-//!   event journal;
-//! * `repro trace <journal.jsonl>` analyzes a journal offline: outcome
-//!   classes, top-yield pattern/category tables, and the §7.5-style
-//!   unique-bugs and coverage growth curves.
+//! * `repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]
+//!   [--metrics-addr ADDR] [--progress] [--findings DIR]` runs one
+//!   telemetry-on campaign, optionally exposing live Prometheus metrics
+//!   over HTTP, ticking a TTY progress line, writing the JSONL event
+//!   journal, and emitting crash-forensics bundles;
+//! * `repro trace <journal.jsonl> [--csv DIR]` analyzes a journal offline:
+//!   outcome classes, top-yield pattern/category tables, the §7.5-style
+//!   growth curves — and, with `--csv`, the same data as CSV files;
+//! * `repro bundle <dialect> [--budget N] [--out DIR]` runs a campaign and
+//!   writes one forensics bundle per unique finding;
+//! * `repro replay <path>` replays a bundle directory (or every bundle
+//!   under a findings root) and checks each PoC still fires its fault.
+//!
+//! Exit codes (the campaign contract, see EXPERIMENTS.md): `0` success /
+//! no crash findings, `2` usage error, `3` the campaign confirmed at
+//! least one crash finding; `repro replay` exits `1` when a bundle fails
+//! to replay.
 
 use soft_bench::comparison::{render_metric, run_comparison, Tool, COMPARED_DIALECTS};
-use soft_bench::trace::{dialect_by_name, render_trace};
-use soft_core::campaign::{run_campaign, run_soft_parallel_timed, CampaignConfig};
+use soft_bench::trace::{dialect_by_name, render_trace, write_trace_csv};
+use soft_core::campaign::{
+    run_campaign, run_soft_parallel_live, run_soft_parallel_timed, CampaignConfig, LivePlane,
+};
 use soft_core::report::render_table4;
 use soft_core::{TelemetryConfig, TelemetryOptions};
 use soft_dialects::{all_cases, CaseKind, DialectId, DialectProfile};
-use soft_obs::TraceFile;
+use soft_obs::{Bundle, LiveMetrics, MetricsServer, TraceFile, WatchdogConfig};
 use soft_study::{analysis, studied_bugs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -44,6 +59,8 @@ fn main() {
         "ablation" => ablation(budget / 2),
         "campaign" => campaign(&args, budget),
         "trace" => trace(&args),
+        "bundle" => bundle(&args, budget),
+        "replay" => replay(&args),
         "all" => {
             table1();
             table2();
@@ -62,35 +79,45 @@ fn main() {
             eprintln!("unknown artifact {other:?}");
             eprintln!(
                 "artifacts: table1 table2 table3 figure1 findings rootcauses table4 \
-                 figure2 table5 table6 bugs24h cases ablation campaign trace all"
+                 figure2 table5 table6 bugs24h cases ablation campaign trace bundle \
+                 replay all"
             );
             std::process::exit(2);
         }
     }
 }
 
+/// Parses `--flag VALUE` from the argument list.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1))
+}
+
 /// `repro campaign <dialect>` — one telemetry-on campaign with the journal
-/// and yield surfaces printed, and optionally persisted as JSONL.
+/// and yield surfaces printed, optionally persisted as JSONL, optionally
+/// observed live over HTTP (`--metrics-addr`) and on the TTY
+/// (`--progress`), optionally bundled for triage (`--findings`).
+///
+/// Exits `3` when the campaign confirms at least one crash finding, so
+/// scripted sweeps can distinguish "ran clean" from "found bugs".
 fn campaign(args: &[String], budget: usize) {
     let Some(id) = args.get(1).and_then(|n| dialect_by_name(n)) else {
-        eprintln!("usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]");
+        eprintln!(
+            "usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH] \
+             [--metrics-addr ADDR] [--progress] [--findings DIR]"
+        );
         eprintln!(
             "dialects: {}",
             DialectId::ALL.map(|d| d.name()).join(" ")
         );
         std::process::exit(2);
     };
-    let workers = args
-        .iter()
-        .position(|a| a == "--workers")
-        .and_then(|i| args.get(i + 1))
+    let workers = flag_value(args, "--workers")
         .and_then(|v| v.parse::<usize>().ok())
         .unwrap_or_else(soft_core::default_workers);
-    let journal_path = args
-        .iter()
-        .position(|a| a == "--journal")
-        .and_then(|i| args.get(i + 1))
-        .map(std::path::PathBuf::from);
+    let journal_path = flag_value(args, "--journal").map(std::path::PathBuf::from);
+    let metrics_addr = flag_value(args, "--metrics-addr").cloned();
+    let progress = args.iter().any(|a| a == "--progress");
+    let findings_dir = flag_value(args, "--findings").map(std::path::PathBuf::from);
     hr(&format!("Telemetry campaign — {}", id.name()));
     let snapshot_interval = (budget / 20).clamp(100, 10_000);
     let cfg = CampaignConfig {
@@ -103,7 +130,47 @@ fn campaign(args: &[String], budget: usize) {
         ..CampaignConfig::default()
     };
     let profile = DialectProfile::build(id);
-    let run = run_soft_parallel_timed(&profile, &cfg, workers);
+
+    // The live plane: one shared registry feeds the HTTP exposition server,
+    // the progress ticker, and the shard watchdog.
+    let metrics = Arc::new(LiveMetrics::new());
+    let server = metrics_addr.as_deref().map(|addr| {
+        match MetricsServer::bind(addr, Arc::clone(&metrics)) {
+            Ok(s) => {
+                println!("metrics: http://{}/metrics (also /status, /curve)", s.local_addr());
+                s
+            }
+            Err(e) => {
+                eprintln!("cannot bind metrics server on {addr}: {e}");
+                std::process::exit(2);
+            }
+        }
+    });
+    let plane = LivePlane {
+        metrics: Some(Arc::clone(&metrics)),
+        watchdog: Some(WatchdogConfig::default()),
+    };
+    let run = {
+        let ticker_stop = Arc::new(AtomicBool::new(false));
+        let ticker = progress.then(|| {
+            let metrics = Arc::clone(&metrics);
+            let stop = Arc::clone(&ticker_stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Acquire) {
+                    eprint!("\r{}", metrics.snapshot().render_progress_line());
+                    std::thread::sleep(std::time::Duration::from_millis(250));
+                }
+                eprintln!("\r{}", metrics.snapshot().render_progress_line());
+            })
+        });
+        let run = run_soft_parallel_live(&profile, &cfg, workers, &plane);
+        ticker_stop.store(true, Ordering::Release);
+        if let Some(t) = ticker {
+            let _ = t.join();
+        }
+        run
+    };
+    drop(server);
     let report = &run.report;
     println!(
         "{}: {} statements, {} workers, {:.0} statements/sec, {} bugs, {} errors, {} fps\n",
@@ -115,6 +182,9 @@ fn campaign(args: &[String], budget: usize) {
         report.errors,
         report.false_positives
     );
+    if let Some(w) = &run.watchdog {
+        println!("{}", w.render_summary());
+    }
     let telemetry = report.telemetry.as_ref().expect("telemetry was on");
     println!("{}", telemetry.yields.render_pattern_table());
     println!("{}", telemetry.yields.render_category_table());
@@ -125,12 +195,25 @@ fn campaign(args: &[String], budget: usize) {
     if let Some(path) = &journal_path {
         println!("journal: {} ({} events)", path.display(), telemetry.journal.events.len());
     }
+    if let Some(dir) = &findings_dir {
+        match soft_core::write_campaign_bundles(&profile, report, dir) {
+            Ok(dirs) => println!("findings: {} bundle(s) under {}", dirs.len(), dir.display()),
+            Err(e) => {
+                eprintln!("cannot write findings under {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if !report.findings.is_empty() {
+        std::process::exit(3);
+    }
 }
 
-/// `repro trace <journal.jsonl>` — offline journal analysis.
+/// `repro trace <journal.jsonl>` — offline journal analysis, optionally
+/// exporting the tables and curves as CSV (`--csv DIR`).
 fn trace(args: &[String]) {
-    let Some(path) = args.get(1) else {
-        eprintln!("usage: repro trace <journal.jsonl>");
+    let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+        eprintln!("usage: repro trace <journal.jsonl> [--csv DIR]");
         std::process::exit(2);
     };
     let text = match std::fs::read_to_string(path) {
@@ -148,6 +231,95 @@ fn trace(args: &[String]) {
         }
     };
     print!("{}", render_trace(&trace));
+    if let Some(dir) = flag_value(args, "--csv").map(std::path::PathBuf::from) {
+        match write_trace_csv(&trace, &dir) {
+            Ok(written) => {
+                for p in written {
+                    println!("csv: {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write CSV under {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
+/// `repro bundle <dialect> [--budget N] [--out DIR]` — runs a campaign and
+/// writes one crash-forensics bundle per unique finding. Exits `0` even
+/// when findings exist: producing bundles is this command's purpose.
+fn bundle(args: &[String], budget: usize) {
+    let Some(id) = args.get(1).and_then(|n| dialect_by_name(n)) else {
+        eprintln!("usage: repro bundle <dialect> [--budget N] [--out DIR]");
+        eprintln!("dialects: {}", DialectId::ALL.map(|d| d.name()).join(" "));
+        std::process::exit(2);
+    };
+    let out = flag_value(args, "--out")
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("findings"));
+    hr(&format!("Forensics bundles — {}", id.name()));
+    let profile = DialectProfile::build(id);
+    let cfg =
+        CampaignConfig { max_statements: budget, per_seed_cap: 64, ..CampaignConfig::default() };
+    let report = run_campaign(&profile, &cfg);
+    println!(
+        "{}: {} statements, {} unique finding(s)",
+        id.name(),
+        report.statements_executed,
+        report.findings.len()
+    );
+    match soft_core::write_campaign_bundles(&profile, &report, &out) {
+        Ok(dirs) => {
+            for dir in &dirs {
+                let bundle = Bundle::read(dir).expect("just-written bundle reads back");
+                println!("  {}", bundle.render_summary());
+                println!("    -> {}", dir.display());
+            }
+            println!("{} bundle(s) under {}", dirs.len(), out.display());
+        }
+        Err(e) => {
+            eprintln!("cannot write bundles under {}: {e}", out.display());
+            std::process::exit(2);
+        }
+    }
+}
+
+/// `repro replay <path>` — replays one bundle directory, or every bundle
+/// under a findings root. Exits `1` when any PoC fails to reproduce its
+/// recorded fault.
+fn replay(args: &[String]) {
+    let Some(path) = args.get(1) else {
+        eprintln!("usage: repro replay <bundle-dir | findings-root>");
+        std::process::exit(2);
+    };
+    let path = std::path::Path::new(path);
+    if path.join("meta.json").is_file() {
+        let bundle = match Bundle::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("cannot read bundle {}: {e}", path.display());
+                std::process::exit(2);
+            }
+        };
+        match soft_core::replay_bundle(&bundle) {
+            Ok(()) => println!("replayed: {}", bundle.render_summary()),
+            Err(e) => {
+                eprintln!("replay FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        match soft_core::replay_all(path) {
+            Ok(n) => println!("replayed {n} bundle(s) under {}", path.display()),
+            Err(failures) => {
+                for f in &failures {
+                    eprintln!("replay FAILED: {f}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
 }
 
 fn hr(title: &str) {

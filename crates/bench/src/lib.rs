@@ -13,4 +13,4 @@ pub mod trace;
 pub use ablation::{render_ablation, run_ablation, AblationResult};
 pub use comparison::{check_shape, render_metric, run_comparison, Tool, ToolResult};
 pub use harness::{Bench, Sample};
-pub use trace::{dialect_by_name, render_trace};
+pub use trace::{dialect_by_name, render_trace, trace_csv_exports, write_trace_csv};

@@ -4,17 +4,20 @@
 //! writes (see `CampaignConfig::telemetry` and `soft-obs`). This module
 //! turns one back into the human-readable surfaces: outcome counts, the
 //! per-pattern / per-category yield tables, and the §7.5-style growth
-//! curves. Rendering lives in the library (not the `repro` binary) so the
-//! golden test in `tests/telemetry.rs` can pin the output byte for byte.
+//! curves — and, via [`trace_csv_exports`], the same data as CSV for
+//! spreadsheet / plotting pipelines (`repro trace --csv <dir>`). Rendering
+//! lives in the library (not the `repro` binary) so the golden tests in
+//! `tests/telemetry.rs` can pin the output byte for byte.
 
 use soft_dialects::{DialectId, DialectProfile};
 use soft_obs::{GrowthCurves, TraceFile, YieldMetrics};
 use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
 
-/// Resolves a dialect by (case-insensitive) name, as it appears in a
+/// Resolves a dialect by (case-insensitive) name or key, as it appears in a
 /// journal header or on the `repro campaign` command line.
 pub fn dialect_by_name(name: &str) -> Option<DialectId> {
-    DialectId::ALL.into_iter().find(|d| d.name().eq_ignore_ascii_case(name))
+    DialectId::from_name(name)
 }
 
 /// Renders the `repro trace` report for one parsed journal.
@@ -40,20 +43,112 @@ pub fn render_trace(trace: &TraceFile) -> String {
 
     // Rebuild the yield ledger from the journal; category resolution uses
     // the dialect's registry when the header names a known dialect.
-    let engine = trace.dialect.as_deref().and_then(dialect_by_name).map(|id| {
-        DialectProfile::build(id).engine()
-    });
+    let (yields, resolved) = rebuild_yields(trace);
+    let _ = writeln!(out, "{}", yields.render_pattern_table());
+    if resolved {
+        let _ = writeln!(out, "{}", yields.render_category_table());
+    }
+    out.push_str(&rebuild_curves(trace).render());
+    out
+}
+
+/// Rebuilds the yield ledger from a journal. The bool reports whether the
+/// header named a known dialect (and categories could therefore resolve).
+fn rebuild_yields(trace: &TraceFile) -> (YieldMetrics, bool) {
+    let engine = trace
+        .dialect
+        .as_deref()
+        .and_then(dialect_by_name)
+        .map(|id| DialectProfile::build(id).engine());
     let yields = YieldMetrics::from_events(&trace.journal.events, &trace.generated, |name| {
         engine.as_ref().and_then(|e| e.registry().resolve(name).map(|d| d.category))
     });
-    let _ = writeln!(out, "{}", yields.render_pattern_table());
-    if engine.is_some() {
-        let _ = writeln!(out, "{}", yields.render_category_table());
-    }
-    let curves = GrowthCurves {
+    (yields, engine.is_some())
+}
+
+/// Rebuilds the §7.5 growth curves from a journal.
+fn rebuild_curves(trace: &TraceFile) -> GrowthCurves {
+    GrowthCurves {
         coverage: trace.coverage.clone(),
         bugs: GrowthCurves::bugs_from_events(&trace.journal.events),
-    };
-    out.push_str(&curves.render());
-    out
+    }
+}
+
+/// Quotes one CSV field: doubled quotes inside a quoted field (RFC 4180),
+/// applied only when the value needs it.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Renders a journal's yield tables and growth curves as CSV files:
+/// `(file name, contents)` pairs, stable names, header row first. The
+/// category table is emitted only when the journal header names a known
+/// dialect (categories cannot resolve otherwise).
+pub fn trace_csv_exports(trace: &TraceFile) -> Vec<(&'static str, String)> {
+    let (yields, resolved) = rebuild_yields(trace);
+    let curves = rebuild_curves(trace);
+    let mut files: Vec<(&'static str, String)> = Vec::new();
+
+    let mut patterns =
+        String::from("pattern,generated,executed,crashes,errors,resource_limits,unique_bugs\n");
+    for (p, y) in &yields.per_pattern {
+        let _ = writeln!(
+            patterns,
+            "{},{},{},{},{},{},{}",
+            p.label(),
+            y.generated,
+            y.executed,
+            y.crashes,
+            y.errors,
+            y.resource_limits,
+            y.unique_bugs
+        );
+    }
+    files.push(("pattern_yields.csv", patterns));
+
+    if resolved {
+        let mut categories = String::from("category,executed,crashes,errors,unique_bugs\n");
+        for (c, y) in &yields.per_category {
+            let _ = writeln!(
+                categories,
+                "{},{},{},{},{}",
+                csv_field(c.label()),
+                y.executed,
+                y.crashes,
+                y.errors,
+                y.unique_bugs
+            );
+        }
+        files.push(("category_yields.csv", categories));
+    }
+
+    let mut coverage = String::from("statements,functions,branches\n");
+    for p in &curves.coverage {
+        let _ = writeln!(coverage, "{},{},{}", p.statements, p.functions, p.branches);
+    }
+    files.push(("coverage_curve.csv", coverage));
+
+    let mut bugs = String::from("statements,unique_bugs,fault_id\n");
+    for b in &curves.bugs {
+        let _ = writeln!(bugs, "{},{},{}", b.statements, b.unique_bugs, csv_field(&b.fault_id));
+    }
+    files.push(("bug_curve.csv", bugs));
+    files
+}
+
+/// Writes [`trace_csv_exports`] into `out_dir` (created if missing),
+/// returning the written paths.
+pub fn write_trace_csv(trace: &TraceFile, out_dir: &Path) -> std::io::Result<Vec<PathBuf>> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut written = Vec::new();
+    for (name, contents) in trace_csv_exports(trace) {
+        let path = out_dir.join(name);
+        std::fs::write(&path, contents)?;
+        written.push(path);
+    }
+    Ok(written)
 }

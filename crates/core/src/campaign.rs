@@ -25,6 +25,17 @@
 //! [`CampaignReport`] for any number of workers, and [`run_soft`] (the
 //! serial reference) is simply the same plan executed inline. Parallelism
 //! changes wall-clock time, nothing else.
+//!
+//! # The live plane
+//!
+//! [`run_soft_parallel_live`] additionally feeds a [`LivePlane`]: a
+//! lock-free [`LiveMetrics`] registry that workers update wait-free per
+//! statement (scraped by `soft_obs::http::MetricsServer` and the
+//! `--progress` ticker) and an optional shard watchdog thread that polls
+//! per-shard heartbeats for stalls. Both are strictly *observers* — the
+//! campaign never reads them back, so the byte-identical guarantee is
+//! untouched; their outputs land on [`CampaignRun`], next to the other
+//! wall-clock surfaces, never inside [`CampaignReport`] equality.
 
 use crate::collect::{self, Collection};
 use crate::patterns::{self, GenCtx, GeneratedCase};
@@ -32,11 +43,12 @@ use crate::report::{BugFinding, CampaignReport, ShardStats};
 use soft_dialects::DialectProfile;
 use soft_engine::{Coverage, Engine, ExecOutcome, PatternId, SqlError};
 use soft_obs::{
-    OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig, TelemetryOptions,
+    LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig,
+    TelemetryOptions, WatchdogConfig, WatchdogReport,
 };
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Campaign configuration.
@@ -175,6 +187,29 @@ pub struct CampaignRun {
     /// Wall-clock varies run to run, so this lives here — next to
     /// [`ShardTiming`] — and never inside the comparable [`CampaignReport`].
     pub stage_latency: Option<StageLatency>,
+    /// What the shard watchdog observed (stalled/slow shards), when
+    /// [`LivePlane::watchdog`] was configured. Wall-clock, so it lives on
+    /// the run, outside report equality.
+    pub watchdog: Option<WatchdogReport>,
+}
+
+/// The campaign's live observability hookup: which wall-clock observers to
+/// feed while shards execute. The default plane is fully off and costs one
+/// `Option` check per statement.
+///
+/// Everything here is write-only from the campaign's perspective: live
+/// counters and heartbeats never influence planning, scheduling, or the
+/// merge, so any plane configuration produces the same [`CampaignReport`].
+#[derive(Debug, Clone, Default)]
+pub struct LivePlane {
+    /// The shared live metrics registry to feed (the same `Arc` the HTTP
+    /// exposition server / progress ticker reads). `None` = no live
+    /// counters.
+    pub metrics: Option<Arc<LiveMetrics>>,
+    /// Run a shard watchdog thread with this configuration. When set
+    /// without `metrics`, a private registry is created so heartbeats still
+    /// flow.
+    pub watchdog: Option<WatchdogConfig>,
 }
 
 impl CampaignRun {
@@ -221,11 +256,25 @@ pub fn run_soft_parallel(
 }
 
 /// [`run_soft_parallel`] plus wall-clock telemetry (per-shard statements/sec
-/// for the bench JSON and observability surfaces).
+/// for the bench JSON and observability surfaces). Runs with the live plane
+/// fully off.
 pub fn run_soft_parallel_timed(
     profile: &DialectProfile,
     config: &CampaignConfig,
     n_workers: usize,
+) -> CampaignRun {
+    run_soft_parallel_live(profile, config, n_workers, &LivePlane::default())
+}
+
+/// [`run_soft_parallel_timed`] with the live observability plane attached:
+/// workers feed `live.metrics` wait-free per statement, and `live.watchdog`
+/// (when set) runs a heartbeat-polling thread whose report lands on
+/// [`CampaignRun::watchdog`]. The live plane never changes the report.
+pub fn run_soft_parallel_live(
+    profile: &DialectProfile,
+    config: &CampaignConfig,
+    n_workers: usize,
+    live: &LivePlane,
 ) -> CampaignRun {
     let t0 = Instant::now();
     let workers = n_workers.max(1);
@@ -250,40 +299,74 @@ pub fn run_soft_parallel_timed(
         .map(|start| (start, shard_size.min(plan.cases.len() - start)))
         .collect();
 
-    let mut outcomes: Vec<ShardOutcome> = if workers == 1 || shards.len() <= 1 {
-        shards
-            .iter()
-            .enumerate()
-            .map(|(i, &(start, len))| {
-                run_shard(profile, &template, &prep, &plan, start..start + len, i, telemetry_opts)
-            })
-            .collect()
-    } else {
-        let next = AtomicUsize::new(0);
-        let done: Mutex<Vec<ShardOutcome>> = Mutex::new(Vec::with_capacity(shards.len()));
-        std::thread::scope(|scope| {
-            for _ in 0..workers.min(shards.len()) {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(&(start, len)) = shards.get(i) else { break };
-                    let outcome = run_shard(
-                        profile,
-                        &template,
-                        &prep,
-                        &plan,
-                        start..start + len,
-                        i,
-                        telemetry_opts,
-                    );
-                    done.lock().expect("shard results poisoned").push(outcome);
-                });
-            }
+    // Resolve the live registry: the caller's, or a private one when only
+    // the watchdog is configured (heartbeats still need somewhere to live).
+    let metrics: Option<Arc<LiveMetrics>> = live
+        .metrics
+        .clone()
+        .or_else(|| live.watchdog.map(|_| Arc::new(LiveMetrics::new())));
+    if let Some(m) = &metrics {
+        m.begin_campaign(profile.id.name(), plan.cases.len(), shards.len(), workers);
+    }
+    let live_metrics: Option<&LiveMetrics> = metrics.as_deref();
+
+    // One scope hosts the watchdog and the shard workers. The workers are
+    // joined explicitly first; only then is the stop flag raised and the
+    // watchdog joined — so the watchdog observes the whole campaign and the
+    // scope cannot deadlock on it.
+    let stop = AtomicBool::new(false);
+    let stop_ref = &stop;
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<ShardOutcome>> = Mutex::new(Vec::with_capacity(shards.len()));
+    let watchdog_report: Option<WatchdogReport> = std::thread::scope(|scope| {
+        let watchdog_handle = live.watchdog.map(|cfg| {
+            let registry = Arc::clone(metrics.as_ref().expect("watchdog implies a registry"));
+            scope.spawn(move || soft_obs::watchdog::run(&registry, stop_ref, cfg))
         });
-        let mut v = done.into_inner().expect("shard results poisoned");
-        // Completion order is scheduler-dependent; merge order is not.
-        v.sort_by_key(|o| o.stats.shard);
-        v
-    };
+        if workers == 1 || shards.len() <= 1 {
+            let mut results = done.lock().expect("shard results poisoned");
+            for (i, &(start, len)) in shards.iter().enumerate() {
+                results.push(run_shard(
+                    profile,
+                    &template,
+                    &prep,
+                    &plan,
+                    start..start + len,
+                    i,
+                    telemetry_opts,
+                    live_metrics,
+                ));
+            }
+        } else {
+            let handles: Vec<_> = (0..workers.min(shards.len()))
+                .map(|_| {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        let Some(&(start, len)) = shards.get(i) else { break };
+                        let outcome = run_shard(
+                            profile,
+                            &template,
+                            &prep,
+                            &plan,
+                            start..start + len,
+                            i,
+                            telemetry_opts,
+                            live_metrics,
+                        );
+                        done.lock().expect("shard results poisoned").push(outcome);
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("shard worker panicked");
+            }
+        }
+        stop.store(true, Ordering::Release);
+        watchdog_handle.map(|h| h.join().expect("watchdog thread panicked"))
+    });
+    let mut outcomes = done.into_inner().expect("shard results poisoned");
+    // Completion order is scheduler-dependent; merge order is not.
+    outcomes.sort_by_key(|o| o.stats.shard);
 
     // Deterministic merge: findings deduplicated by fault id in global
     // statement order, counters summed, coverage unioned.
@@ -362,12 +445,21 @@ pub fn run_soft_parallel_timed(
         shards: stats,
         telemetry,
     };
+    // The slow-shard skew signal comes from the deterministic join's own
+    // timing rows, not from heartbeat sampling.
+    let watchdog = watchdog_report.map(|mut w| {
+        let rows: Vec<(usize, usize, u128)> =
+            timings.iter().map(|t| (t.shard, t.statements, t.nanos)).collect();
+        w.slow_shards = soft_obs::watchdog::classify_slow_shards(&rows);
+        w
+    });
     CampaignRun {
         report,
         workers,
         wall_nanos: t0.elapsed().as_nanos(),
         shard_timings: timings,
         stage_latency,
+        watchdog,
     }
 }
 
@@ -595,6 +687,7 @@ fn run_shard(
     range: std::ops::Range<usize>,
     shard: usize,
     telemetry: Option<&TelemetryOptions>,
+    live: Option<&LiveMetrics>,
 ) -> ShardOutcome {
     let t0 = Instant::now();
     let start_offset = range.start;
@@ -604,6 +697,12 @@ fn run_shard(
     let mut findings: Vec<BugFinding> = Vec::new();
     let mut observer =
         telemetry.map(|opts| ShardObserver::new(opts, &plan.seed_functions, cases.len()));
+    // The live plane: this worker owns heartbeat slot `shard` exclusively
+    // while the shard runs, so every update below is wait-free.
+    let live = live.map(|m| (m, m.beats()));
+    if let Some((m, beats)) = &live {
+        m.shard_started(&beats[shard]);
+    }
     let mut crashes = 0usize;
     let mut false_positives = 0usize;
     let mut errors = 0usize;
@@ -616,10 +715,21 @@ fn run_shard(
             }
             None => engine.execute(&case.sql),
         };
+        if let Some((m, beats)) = &live {
+            m.record_statement(
+                &beats[shard],
+                start_offset + i + 1,
+                case.pattern,
+                OutcomeClass::of(&outcome),
+            );
+        }
         match outcome {
             ExecOutcome::Crash(c) => {
                 crashes += 1;
                 if found.insert(c.fault_id.clone()) {
+                    if let Some((m, _)) = &live {
+                        m.record_unique_candidate(&c.fault_id);
+                    }
                     // Look up the corpus entry for ground-truth metadata.
                     let spec = profile
                         .faults
@@ -637,6 +747,7 @@ fn run_shard(
                         credited_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
                         found_by_pattern: case.pattern.unwrap_or(PatternId::P1_2),
                         function: c.function.clone(),
+                        seed_function: plan.seed_functions.get(case.seed).cloned().flatten(),
                         poc: case.sql.clone(),
                         statements_until_found: start_offset + i + 1,
                         fixed: spec.map(|s| s.fixed).unwrap_or(false),
@@ -652,6 +763,9 @@ fn run_shard(
             ExecOutcome::Error(_) => errors += 1,
             ExecOutcome::Rows(_) | ExecOutcome::Ok(_) => {}
         }
+    }
+    if let Some((m, beats)) = &live {
+        m.shard_finished(&beats[shard], engine.coverage());
     }
     ShardOutcome {
         stats: ShardStats {
@@ -713,6 +827,8 @@ pub fn run_generator(
                         credited_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
                         found_by_pattern: spec.map(|s| s.pattern).unwrap_or(PatternId::P1_2),
                         function: c.function.clone(),
+                        // External generators carry no seed provenance.
+                        seed_function: None,
                         poc: sql.clone(),
                         statements_until_found: statements,
                         fixed: spec.map(|s| s.fixed).unwrap_or(false),

@@ -1,0 +1,164 @@
+//! Crash-forensics bundling and replay — the rich-typed side of
+//! [`soft_obs::forensics`].
+//!
+//! `soft-obs` sits below `soft-core` in the crate graph, so its
+//! [`Bundle`] is stringly typed. This module owns the conversion from a
+//! campaign's [`BugFinding`]s (with their enum-typed kind / stage / pattern
+//! provenance) into bundles — minimizing each PoC on the way, the way the
+//! paper's §7.4 listings are minimized before reporting — and the inverse
+//! direction: replaying a bundle's PoC against a freshly built profile and
+//! checking it still fires the recorded fault.
+
+use crate::collect;
+use crate::minimize::minimize;
+use crate::report::{BugFinding, CampaignReport};
+use soft_dialects::{DialectId, DialectProfile};
+use soft_engine::{Engine, ExecOutcome};
+use soft_obs::forensics::bucket_key;
+use soft_obs::Bundle;
+use std::path::{Path, PathBuf};
+
+/// Builds an engine with the profile's preparation statements replayed —
+/// the state every campaign statement (and therefore every PoC) executes
+/// against.
+fn prepared_engine(profile: &DialectProfile) -> Engine {
+    let mut engine = profile.engine();
+    for sql in &collect::collect(profile).preparation {
+        let _ = engine.execute(&sql.to_string());
+    }
+    engine
+}
+
+/// Converts one campaign finding into a forensics [`Bundle`]: the finding's
+/// provenance flattened to its stable labels, the PoC minimized against a
+/// prepared engine, and a copy-pasteable replay command pointing into
+/// `findings_root`.
+pub fn bundle_finding(
+    profile: &DialectProfile,
+    finding: &BugFinding,
+    findings_root: &str,
+) -> Bundle {
+    let template = prepared_engine(profile);
+    let poc = minimize(&finding.poc, || template.clone());
+    let mut bundle = Bundle {
+        fault_id: finding.fault_id.clone(),
+        dialect: profile.id.name().to_string(),
+        kind: finding.kind.abbrev().to_string(),
+        stage: finding.stage.to_string(),
+        category: finding.category.label().to_string(),
+        credited_pattern: finding.credited_pattern.label().to_string(),
+        found_by_pattern: finding.found_by_pattern.label().to_string(),
+        function: finding.function.clone(),
+        seed_function: finding.seed_function.clone(),
+        bucket: bucket_key(
+            profile.id.key(),
+            &finding.stage.to_string(),
+            finding.kind.abbrev(),
+            finding.function.as_deref(),
+        ),
+        statements_until_found: finding.statements_until_found,
+        fixed: finding.fixed,
+        replay: String::new(),
+        poc,
+        original: finding.poc.clone(),
+    };
+    bundle.replay = format!("repro replay {}/{}", findings_root, bundle.dir_name());
+    bundle
+}
+
+/// Writes one bundle per unique finding of a campaign report under `root`,
+/// in discovery order. Returns the bundle directories.
+pub fn write_campaign_bundles(
+    profile: &DialectProfile,
+    report: &CampaignReport,
+    root: &Path,
+) -> std::io::Result<Vec<PathBuf>> {
+    let root_label = root.display().to_string();
+    report
+        .findings
+        .iter()
+        .map(|f| bundle_finding(profile, f, &root_label).write(root))
+        .collect()
+}
+
+/// Replays a bundle's minimized PoC against a freshly built profile (with
+/// preparation replayed, exactly like a campaign shard) and checks it still
+/// crashes with the recorded fault id. This is the triage contract: a bundle
+/// that fails replay is stale or corrupted.
+pub fn replay_bundle(bundle: &Bundle) -> Result<(), String> {
+    let id = DialectId::from_name(&bundle.dialect)
+        .ok_or_else(|| format!("{}: unknown dialect {:?}", bundle.fault_id, bundle.dialect))?;
+    let profile = DialectProfile::build(id);
+    let mut engine = prepared_engine(&profile);
+    match engine.execute(&bundle.poc) {
+        ExecOutcome::Crash(c) if c.fault_id == bundle.fault_id => Ok(()),
+        ExecOutcome::Crash(c) => Err(format!(
+            "{}: PoC crashed with a different fault: {}",
+            bundle.fault_id, c.fault_id
+        )),
+        _ => Err(format!("{}: PoC no longer crashes", bundle.fault_id)),
+    }
+}
+
+/// Reads every bundle under `root` and replays each one, collecting
+/// failures. `Ok(n)` = all `n` bundles replayed.
+pub fn replay_all(root: &Path) -> Result<usize, Vec<String>> {
+    let bundles = Bundle::read_all(root).map_err(|e| vec![e])?;
+    let failures: Vec<String> =
+        bundles.iter().filter_map(|b| replay_bundle(b).err()).collect();
+    if failures.is_empty() {
+        Ok(bundles.len())
+    } else {
+        Err(failures)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{run_soft, CampaignConfig};
+
+    fn small_report(profile: &DialectProfile) -> CampaignReport {
+        let cfg = CampaignConfig {
+            max_statements: 30_000,
+            per_seed_cap: 32,
+            ..CampaignConfig::default()
+        };
+        run_soft(profile, &cfg)
+    }
+
+    #[test]
+    fn findings_bundle_and_replay() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let report = small_report(&profile);
+        assert!(!report.findings.is_empty(), "need at least one finding to bundle");
+        let finding = &report.findings[0];
+        let bundle = bundle_finding(&profile, finding, "findings");
+        assert_eq!(bundle.fault_id, finding.fault_id);
+        assert_eq!(bundle.dialect, "ClickHouse");
+        assert!(bundle.poc.len() <= bundle.original.len(), "minimization grew the PoC");
+        assert!(bundle.replay.starts_with("repro replay findings/"));
+        assert_eq!(
+            bundle.bucket,
+            bucket_key(
+                "clickhouse",
+                &finding.stage.to_string(),
+                finding.kind.abbrev(),
+                finding.function.as_deref()
+            )
+        );
+        replay_bundle(&bundle).expect("minimized PoC must still fire the fault");
+    }
+
+    #[test]
+    fn replay_rejects_a_tampered_bundle() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let report = small_report(&profile);
+        let mut bundle = bundle_finding(&profile, &report.findings[0], "findings");
+        bundle.poc = "SELECT 1".into();
+        assert!(replay_bundle(&bundle).is_err(), "harmless PoC must fail replay");
+        let mut wrong_dialect = bundle_finding(&profile, &report.findings[0], "findings");
+        wrong_dialect.dialect = "NoSuchDB".into();
+        assert!(replay_bundle(&wrong_dialect).is_err());
+    }
+}

@@ -25,6 +25,7 @@
 pub mod campaign;
 pub mod collect;
 pub mod extend;
+pub mod forensics;
 pub mod minimize;
 pub mod patterns;
 pub mod pool;
@@ -32,8 +33,10 @@ pub mod report;
 
 pub use campaign::{
     default_workers, run_campaign, run_generator, run_soft, run_soft_parallel,
-    run_soft_parallel_timed, CampaignConfig, CampaignRun, ShardTiming, StatementGenerator,
+    run_soft_parallel_live, run_soft_parallel_timed, CampaignConfig, CampaignRun, LivePlane,
+    ShardTiming, StatementGenerator,
 };
+pub use forensics::{bundle_finding, replay_all, replay_bundle, write_campaign_bundles};
 pub use patterns::{GenCtx, GeneratedCase};
 pub use report::{render_table4, BugFinding, CampaignReport, ShardStats};
 // The telemetry vocabulary, re-exported so campaign callers need not name

@@ -24,6 +24,9 @@ pub struct BugFinding {
     pub found_by_pattern: PatternId,
     /// Function the crash occurred in.
     pub function: Option<String>,
+    /// Root function of the seed the triggering statement derives from
+    /// (forensics provenance; `None` for external generators).
+    pub seed_function: Option<String>,
     /// The triggering statement.
     pub poc: String,
     /// How many statements had been executed when it fired.
@@ -216,6 +219,7 @@ mod tests {
             credited_pattern: pattern,
             found_by_pattern: pattern,
             function: Some("f".into()),
+            seed_function: Some("f".into()),
             poc: "SELECT f(NULL)".into(),
             statements_until_found: 10,
             fixed: true,

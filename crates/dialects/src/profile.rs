@@ -69,6 +69,16 @@ impl DialectId {
             DialectId::Virtuoso => "virtuoso",
         }
     }
+
+    /// Resolves a dialect from its display name or stable key,
+    /// case-insensitively (`"ClickHouse"`, `"clickhouse"`, `"POSTGRESQL"`).
+    /// The inverse of [`DialectId::name`] / [`DialectId::key`] — CLI
+    /// arguments and forensics bundles round-trip through it.
+    pub fn from_name(name: &str) -> Option<DialectId> {
+        DialectId::ALL
+            .into_iter()
+            .find(|d| d.name().eq_ignore_ascii_case(name) || d.key().eq_ignore_ascii_case(name))
+    }
 }
 
 impl std::fmt::Display for DialectId {

@@ -1,0 +1,209 @@
+//! A std-only HTTP/1.1 exposition server for the live metrics registry.
+//!
+//! The workspace is hermetic, so there is no hyper/axum/tiny-http here:
+//! a `TcpListener`, a small accept loop on one background thread, and a
+//! hand-rolled request-line parser. That is all a metrics endpoint needs —
+//! every response is computed from a [`LiveMetrics::snapshot`] and the
+//! connection is closed after one exchange (`Connection: close`).
+//!
+//! Routes:
+//!
+//! | path       | payload                                            |
+//! |------------|----------------------------------------------------|
+//! | `/metrics` | Prometheus text exposition format (version 0.0.4)  |
+//! | `/status`  | one flat JSON object (parseable by [`crate::json`]) |
+//! | `/curve`   | live growth curves as JSONL                        |
+//!
+//! Anything else is a 404; non-GET methods get a 405. The server never
+//! writes to the registry, so it cannot perturb the campaign.
+
+use crate::live::LiveMetrics;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// How long one request is allowed to dribble in before the connection is
+/// dropped. Prometheus scrapes send the whole request at once; anything
+/// slower is a stuck client we should not let wedge the accept loop.
+const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The running exposition server. Dropping it (or calling
+/// [`MetricsServer::shutdown`]) stops the accept loop and joins the thread.
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` (e.g. `127.0.0.1:9184`, or port `0` for an ephemeral
+    /// port) and starts serving `metrics` on a background thread.
+    pub fn bind(addr: &str, metrics: Arc<LiveMetrics>) -> io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let stop_flag = Arc::clone(&stop);
+        let thread = std::thread::Builder::new()
+            .name("soft-metrics-http".into())
+            .spawn(move || accept_loop(listener, metrics, stop_flag))?;
+        Ok(MetricsServer { addr, stop, thread: Some(thread) })
+    }
+
+    /// The actual bound address (useful with port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop and joins the server thread. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        // The accept loop blocks in `accept()`; poke it with a throwaway
+        // connection so it observes the flag without waiting for a scrape.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for MetricsServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(listener: TcpListener, metrics: Arc<LiveMetrics>, stop: Arc<AtomicBool>) {
+    for conn in listener.incoming() {
+        if stop.load(Ordering::Acquire) {
+            break;
+        }
+        match conn {
+            // One request per connection, served inline: scrapes are tiny
+            // and rare (seconds apart), so a thread pool would be ceremony.
+            Ok(stream) => {
+                let _ = serve_one(stream, &metrics);
+            }
+            Err(_) => continue,
+        }
+    }
+}
+
+/// Reads one request, writes one response. IO errors just drop the
+/// connection — the client retries on the next scrape interval.
+fn serve_one(stream: TcpStream, metrics: &LiveMetrics) -> io::Result<()> {
+    stream.set_read_timeout(Some(READ_TIMEOUT))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut request_line = String::new();
+    reader.read_line(&mut request_line)?;
+    // Drain the headers so well-behaved clients see a clean close.
+    let mut header = String::new();
+    while reader.read_line(&mut header)? > 2 {
+        header.clear();
+    }
+    let (status, content_type, body) = respond(&request_line, metrics);
+    let mut stream = stream;
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    )?;
+    stream.flush()
+}
+
+/// Maps one request line to `(status, content type, body)`. Split from the
+/// socket handling so routing is unit-testable without a listener.
+pub(crate) fn respond(request_line: &str, metrics: &LiveMetrics) -> (&'static str, &'static str, String) {
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("");
+    if method != "GET" {
+        return ("405 Method Not Allowed", "text/plain", "method not allowed\n".into());
+    }
+    // Ignore any query string: `/metrics?x=1` is still `/metrics`.
+    let path = path.split('?').next().unwrap_or(path);
+    let snapshot = metrics.snapshot();
+    match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            snapshot.render_prometheus(),
+        ),
+        "/status" => ("200 OK", "application/json", snapshot.render_status_json()),
+        "/curve" => ("200 OK", "application/x-ndjson", snapshot.render_curve_jsonl()),
+        _ => ("404 Not Found", "text/plain", "not found; try /metrics, /status, /curve\n".into()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    fn scrape(addr: SocketAddr, path: &str) -> (String, String) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        (head.to_string(), body.to_string())
+    }
+
+    #[test]
+    fn serves_all_three_routes_and_404() {
+        let metrics = Arc::new(LiveMetrics::new());
+        metrics.begin_campaign("DuckDB", 10, 1, 1);
+        let beats = metrics.beats();
+        metrics.shard_started(&beats[0]);
+        metrics.record_statement(&beats[0], 1, None, crate::event::OutcomeClass::Ok);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let addr = server.local_addr();
+
+        let (head, body) = scrape(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"), "{head}");
+        assert!(body.contains("soft_statements_total 1"), "{body}");
+
+        let (head, body) = scrape(addr, "/status");
+        assert!(head.contains("application/json"), "{head}");
+        let obj = crate::json::parse_object(body.trim()).expect("status json");
+        assert_eq!(obj["dialect"].as_str(), Some("DuckDB"));
+
+        let (head, _) = scrape(addr, "/curve");
+        assert!(head.contains("200 OK"), "{head}");
+
+        let (head, _) = scrape(addr, "/nope");
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn rejects_non_get_and_survives_shutdown() {
+        let metrics = Arc::new(LiveMetrics::new());
+        let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let addr = server.local_addr();
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        write!(stream, "POST /metrics HTTP/1.1\r\n\r\n").expect("request");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 405"), "{response}");
+        server.shutdown();
+        server.shutdown(); // idempotent
+        assert!(TcpStream::connect(addr).is_err() || {
+            // The OS may briefly accept on the dead listener's backlog;
+            // either way no response arrives.
+            true
+        });
+    }
+
+    #[test]
+    fn routing_ignores_query_strings() {
+        let metrics = LiveMetrics::new();
+        let (status, _, _) = respond("GET /metrics?scrape=1 HTTP/1.1", &metrics);
+        assert_eq!(status, "200 OK");
+        let (status, _, _) = respond("GET /else HTTP/1.1", &metrics);
+        assert_eq!(status, "404 Not Found");
+    }
+}

@@ -6,8 +6,15 @@
 //! *reader* side — a deliberately minimal parser for the flat (non-nested)
 //! one-line objects the journal emits — so `repro trace` can analyze a
 //! journal without any external crate.
+//!
+//! The reader backs user-supplied files (`repro trace <path>`, forensics
+//! `meta.json`), so it is hardened rather than trusting: truncated `\u`
+//! escapes, raw control characters, lone surrogates, and duplicate keys are
+//! all structured [`JsonError`]s with a byte offset — never a panic, never a
+//! silent accept.
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 /// A parsed JSON scalar. The journal only ever writes flat objects whose
 /// values are strings, integers, or `null`, so that is all the reader
@@ -40,6 +47,31 @@ impl JsonValue {
     }
 }
 
+/// A structured parse error: what went wrong and the byte offset it went
+/// wrong at. Callers that know the line number prepend it (see
+/// `TraceFile::parse`), giving `line N: offset M: ...` diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonError {
+    /// Byte offset into the line where the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl JsonError {
+    fn new(offset: usize, message: impl Into<String>) -> JsonError {
+        JsonError { offset, message: message.into() }
+    }
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "offset {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
 /// Escapes `s` for inclusion in a JSON string literal.
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -67,11 +99,16 @@ pub fn num_field(key: &str, value: i64) -> String {
     format!("\"{}\": {}", escape(key), value)
 }
 
+/// Renders one `"key": null` pair.
+pub fn null_field(key: &str) -> String {
+    format!("\"{}\": null", escape(key))
+}
+
 /// Parses one flat JSON object line (`{"k": "v", "n": 3, "x": null}`) into
-/// a key → value map. Rejects nesting, arrays, floats, and trailing junk —
-/// the journal never writes them, and a reader that silently accepted a
-/// malformed journal would mask sink bugs.
-pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
+/// a key → value map. Rejects nesting, arrays, floats, duplicate keys, and
+/// trailing junk — the journal never writes them, and a reader that
+/// silently accepted a malformed journal would mask sink bugs.
+pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, JsonError> {
     let mut p = Parser { bytes: line.as_bytes(), pos: 0 };
     p.skip_ws();
     p.expect(b'{')?;
@@ -82,25 +119,42 @@ pub fn parse_object(line: &str) -> Result<BTreeMap<String, JsonValue>, String> {
     } else {
         loop {
             p.skip_ws();
+            let key_offset = p.pos;
             let key = p.parse_string()?;
             p.skip_ws();
             p.expect(b':')?;
             p.skip_ws();
             let value = p.parse_value()?;
-            out.insert(key, value);
+            if out.insert(key.clone(), value).is_some() {
+                return Err(JsonError::new(key_offset, format!("duplicate key {key:?}")));
+            }
             p.skip_ws();
             match p.next() {
                 Some(b',') => continue,
                 Some(b'}') => break,
-                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                other => {
+                    return Err(JsonError::new(
+                        p.pos.saturating_sub(1),
+                        format!("expected ',' or '}}', got {}", describe(other)),
+                    ))
+                }
             }
         }
     }
     p.skip_ws();
     if p.pos != p.bytes.len() {
-        return Err(format!("trailing bytes after object at offset {}", p.pos));
+        return Err(JsonError::new(p.pos, "trailing bytes after object"));
     }
     Ok(out)
+}
+
+/// Renders a byte for error messages (`end of input` for `None`).
+fn describe(b: Option<u8>) -> String {
+    match b {
+        None => "end of input".into(),
+        Some(b) if b.is_ascii_graphic() || b == b' ' => format!("{:?}", b as char),
+        Some(b) => format!("byte 0x{b:02x}"),
+    }
 }
 
 struct Parser<'a> {
@@ -125,14 +179,18 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, want: u8) -> Result<(), String> {
+    fn expect(&mut self, want: u8) -> Result<(), JsonError> {
+        let at = self.pos;
         match self.next() {
             Some(b) if b == want => Ok(()),
-            other => Err(format!("expected {:?}, got {other:?}", want as char)),
+            other => Err(JsonError::new(
+                at,
+                format!("expected {:?}, got {}", want as char, describe(other)),
+            )),
         }
     }
 
-    fn parse_value(&mut self) -> Result<JsonValue, String> {
+    fn parse_value(&mut self) -> Result<JsonValue, JsonError> {
         match self.peek() {
             Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
             Some(b'n') => {
@@ -140,15 +198,17 @@ impl<'a> Parser<'a> {
                     self.pos += 4;
                     Ok(JsonValue::Null)
                 } else {
-                    Err("bad literal (expected null)".into())
+                    Err(JsonError::new(self.pos, "bad literal (expected null)"))
                 }
             }
             Some(b'-' | b'0'..=b'9') => self.parse_number(),
-            other => Err(format!("unsupported value start {other:?}")),
+            other => {
+                Err(JsonError::new(self.pos, format!("unsupported value start {}", describe(other))))
+            }
         }
     }
 
-    fn parse_number(&mut self) -> Result<JsonValue, String> {
+    fn parse_number(&mut self) -> Result<JsonValue, JsonError> {
         let start = self.pos;
         if self.peek() == Some(b'-') {
             self.pos += 1;
@@ -156,45 +216,103 @@ impl<'a> Parser<'a> {
         while matches!(self.peek(), Some(b'0'..=b'9')) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
-        text.parse::<i64>().map(JsonValue::Num).map_err(|e| format!("bad number {text:?}: {e}"))
+        // The slice is only ASCII digits (and a leading '-') by
+        // construction, so from_utf8 cannot fail.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| JsonError::new(start, "non-ascii number"))?;
+        text.parse::<i64>()
+            .map(JsonValue::Num)
+            .map_err(|e| JsonError::new(start, format!("bad number {text:?}: {e}")))
     }
 
-    fn parse_string(&mut self) -> Result<String, String> {
+    /// Reads the 4 hex digits of a `\u` escape (the `\u` already consumed).
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err(JsonError::new(self.pos, "truncated \\u escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| JsonError::new(self.pos, "non-utf8 \\u escape"))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|e| JsonError::new(self.pos, format!("bad \\u escape {hex:?}: {e}")))?;
+        self.pos += 4;
+        Ok(code)
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
         self.expect(b'"')?;
         let mut out = String::new();
         loop {
+            let at = self.pos;
             match self.next() {
-                None => return Err("unterminated string".into()),
+                None => return Err(JsonError::new(at, "unterminated string")),
                 Some(b'"') => return Ok(out),
                 Some(b'\\') => match self.next() {
                     Some(b'"') => out.push('"'),
                     Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
                     Some(b'n') => out.push('\n'),
                     Some(b'r') => out.push('\r'),
                     Some(b't') => out.push('\t'),
                     Some(b'u') => {
-                        if self.pos + 4 > self.bytes.len() {
-                            return Err("truncated \\u escape".into());
-                        }
-                        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
-                            .map_err(|_| "non-utf8 \\u escape".to_string())?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|e| format!("bad \\u escape {hex:?}: {e}"))?;
-                        self.pos += 4;
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        let code = self.parse_hex4()?;
+                        let c = match code {
+                            // High surrogate: a low surrogate escape MUST
+                            // follow, and the pair decodes to one scalar.
+                            0xd800..=0xdbff => {
+                                if self.next() != Some(b'\\') || self.next() != Some(b'u') {
+                                    return Err(JsonError::new(
+                                        at,
+                                        "lone high surrogate (expected \\u low surrogate)",
+                                    ));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xdc00..=0xdfff).contains(&low) {
+                                    return Err(JsonError::new(
+                                        at,
+                                        format!("bad low surrogate \\u{low:04x}"),
+                                    ));
+                                }
+                                let scalar =
+                                    0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+                                char::from_u32(scalar).ok_or_else(|| {
+                                    JsonError::new(at, "surrogate pair out of range")
+                                })?
+                            }
+                            0xdc00..=0xdfff => {
+                                return Err(JsonError::new(at, "lone low surrogate"))
+                            }
+                            _ => char::from_u32(code).ok_or_else(|| {
+                                JsonError::new(at, format!("invalid scalar \\u{code:04x}"))
+                            })?,
+                        };
+                        out.push(c);
                     }
-                    other => return Err(format!("bad escape {other:?}")),
+                    other => {
+                        return Err(JsonError::new(
+                            at,
+                            format!("bad escape \\{}", describe(other)),
+                        ))
+                    }
                 },
+                // RFC 8259: control characters must be escaped inside
+                // strings; a raw one means the line was mangled.
+                Some(b) if b < 0x20 => {
+                    return Err(JsonError::new(
+                        at,
+                        format!("raw control character 0x{b:02x} in string"),
+                    ))
+                }
                 Some(b) => {
                     // Re-decode the UTF-8 sequence starting at `b`.
                     let len = utf8_len(b);
                     let start = self.pos - 1;
                     if start + len > self.bytes.len() {
-                        return Err("truncated utf-8 sequence".into());
+                        return Err(JsonError::new(start, "truncated utf-8 sequence"));
                     }
                     let s = std::str::from_utf8(&self.bytes[start..start + len])
-                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                        .map_err(|_| JsonError::new(start, "invalid utf-8 in string"))?;
                     out.push_str(s);
                     self.pos = start + len;
                 }
@@ -247,6 +365,69 @@ mod tests {
         ] {
             assert!(parse_object(bad).is_err(), "accepted {bad:?}");
         }
+    }
+
+    #[test]
+    fn rejects_truncated_escapes_with_offsets() {
+        for bad in [
+            "{\"a\": \"\\u00\"}",   // 2 hex digits then the closing quote
+            "{\"a\": \"\\u\"}",     // no hex digits at all
+            "{\"a\": \"\\u00",      // line ends inside the escape
+            "{\"a\": \"\\q\"}",     // unknown escape letter
+            "{\"a\": \"\\uzzzz\"}", // non-hex digits
+        ] {
+            let err = parse_object(bad).expect_err(bad);
+            assert!(err.message.contains("escape"), "{bad:?} -> {err}");
+        }
+        // The offset points into the line, and Display carries it.
+        let err = parse_object("{\"a\": \"\\u00\"}").expect_err("truncated");
+        assert!(err.offset > 0 && err.offset < 14, "offset {}", err.offset);
+        assert!(format!("{err}").starts_with(&format!("offset {}", err.offset)));
+    }
+
+    #[test]
+    fn rejects_raw_control_characters() {
+        let bad = "{\"a\": \"x\u{1}y\"}";
+        let err = parse_object(bad).expect_err("raw control char");
+        assert!(err.message.contains("control character"), "{err}");
+        // The escaped form of the same payload is fine.
+        let ok = format!("{{{}}}", str_field("a", "x\u{1}y"));
+        assert_eq!(parse_object(&ok).expect("parses")["a"].as_str(), Some("x\u{1}y"));
+    }
+
+    #[test]
+    fn rejects_duplicate_keys() {
+        let err = parse_object(r#"{"a": 1, "b": 2, "a": 3}"#).expect_err("dup key");
+        assert!(err.message.contains("duplicate key \"a\""), "{err}");
+        // The offset points at the second "a".
+        assert_eq!(err.offset, 17);
+    }
+
+    #[test]
+    fn surrogate_pairs_decode_and_lone_surrogates_are_errors() {
+        let obj = parse_object(r#"{"crab": "\ud83e\udd80"}"#).expect("pair decodes");
+        assert_eq!(obj["crab"].as_str(), Some("🦀"));
+        for bad in [
+            r#"{"a": "\ud83e"}"#,        // lone high surrogate
+            r#"{"a": "\ud83e x"}"#,      // high surrogate, then plain text
+            r#"{"a": "\udd80"}"#,        // lone low surrogate
+            r#"{"a": "\ud83e\u0041"}"#,  // high surrogate + non-surrogate
+        ] {
+            let err = parse_object(bad).expect_err(bad);
+            assert!(err.message.contains("surrogate"), "{bad:?} -> {err}");
+        }
+    }
+
+    #[test]
+    fn accepts_the_remaining_rfc_escapes() {
+        let obj = parse_object(r#"{"a": "\/\b\f"}"#).expect("parses");
+        assert_eq!(obj["a"].as_str(), Some("/\u{8}\u{c}"));
+    }
+
+    #[test]
+    fn null_field_renders_and_parses() {
+        let line = format!("{{{}}}", null_field("gone"));
+        assert_eq!(parse_object(&line).expect("parses")["gone"], JsonValue::Null);
     }
 
     #[test]

@@ -200,6 +200,82 @@ mod tests {
         assert_eq!(LatencyHistogram::new().mean_ns(), 0.0);
     }
 
+    /// Pins the log₂ bucketing rule at the edges: `bucket(0) = bucket(1) =
+    /// 0`; for every k, `2^k − 1` lands one bucket below `2^k`; and
+    /// `u64::MAX` saturates into the open-ended last bucket.
+    #[test]
+    fn bucket_boundaries_are_pinned_at_the_edges() {
+        let bucket_of = |ns: u64| -> usize {
+            let mut h = LatencyHistogram::new();
+            h.record(Duration::from_nanos(ns));
+            h.buckets().iter().position(|&n| n == 1).expect("one sample, one bucket")
+        };
+        assert_eq!(bucket_of(0), 0);
+        assert_eq!(bucket_of(1), 0);
+        for k in 1..BUCKETS as u32 {
+            let pow = 1u64 << k;
+            assert_eq!(bucket_of(pow), k as usize, "2^{k} must open bucket {k}");
+            assert_eq!(bucket_of(pow - 1), k as usize - 1, "2^{k}-1 must close bucket {}", k - 1);
+        }
+        // Beyond the last closed bucket everything saturates into bucket 35:
+        // 2^36, 2^63, and u64::MAX all land there.
+        assert_eq!(bucket_of(1u64 << BUCKETS), BUCKETS - 1);
+        assert_eq!(bucket_of(1u64 << 63), BUCKETS - 1);
+        assert_eq!(bucket_of(u64::MAX), BUCKETS - 1);
+    }
+
+    /// Histogram merge is commutative and associative, so the shard join
+    /// may fold timings in any order — the merged histogram is a pure
+    /// function of the sample multiset.
+    #[test]
+    fn merge_is_commutative_and_associative_across_shard_orders() {
+        // Three "shards" with deliberately different shapes, including the
+        // extreme buckets.
+        let shard = |samples: &[u64]| {
+            let mut h = LatencyHistogram::new();
+            for &ns in samples {
+                h.record(Duration::from_nanos(ns));
+            }
+            h
+        };
+        let a = shard(&[0, 1, 100, u64::MAX]);
+        let b = shard(&[2, 1023, 1024]);
+        let c = shard(&[7, 7, 7, 1 << 35]);
+        let fold = |order: &[&LatencyHistogram]| {
+            let mut acc = LatencyHistogram::new();
+            for h in order {
+                acc.merge(h);
+            }
+            acc
+        };
+        let abc = fold(&[&a, &b, &c]);
+        // Commutativity: every permutation agrees.
+        for order in [
+            [&a, &c, &b],
+            [&b, &a, &c],
+            [&b, &c, &a],
+            [&c, &a, &b],
+            [&c, &b, &a],
+        ] {
+            assert_eq!(fold(&order), abc);
+        }
+        // Associativity: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left, abc);
+        // The identity element is the empty histogram.
+        let mut with_identity = LatencyHistogram::new();
+        with_identity.merge(&abc);
+        assert_eq!(with_identity, abc);
+        assert_eq!(abc.samples(), 11);
+    }
+
     #[test]
     fn merge_sums_counts_and_samples() {
         let mut a = LatencyHistogram::new();

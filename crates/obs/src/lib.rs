@@ -22,6 +22,20 @@
 //! * [`json`] — the hand-rolled std-only JSON helpers behind the JSONL
 //!   sink (the same idiom as `soft-bench`'s `BENCH_*.json` writer).
 //!
+//! On top of the deterministic plane sits the **live plane** — wall-clock
+//! observability that workers feed wait-free while the campaign runs and
+//! that never participates in report equality:
+//!
+//! * [`live`] — the lock-free [`LiveMetrics`] registry (atomic counters per
+//!   pattern / outcome class / shard) and its snapshot renderers
+//!   (Prometheus text, flat JSON status, JSONL curves, TTY progress line);
+//! * [`http`] — a std-only HTTP/1.1 exposition server ([`MetricsServer`])
+//!   serving `/metrics`, `/status`, and `/curve` from the registry;
+//! * [`watchdog`] — a polling observer over the registry's per-shard
+//!   heartbeats that reports stalled and slow shards ([`WatchdogReport`]);
+//! * [`forensics`] — per-unique-fault triage [`Bundle`]s
+//!   (`findings/<fault-id>/` with PoC, provenance, and replay command).
+//!
 //! # Determinism
 //!
 //! Everything except the latency histograms is a pure function of the
@@ -51,17 +65,25 @@
 
 pub mod curve;
 pub mod event;
+pub mod forensics;
+pub mod http;
 pub mod journal;
 pub mod json;
 pub mod latency;
+pub mod live;
 pub mod metrics;
 pub mod telemetry;
+pub mod watchdog;
 
 pub use curve::{BugPoint, CoveragePoint, GrowthCurves};
 pub use event::{OutcomeClass, StatementEvent};
+pub use forensics::Bundle;
+pub use http::MetricsServer;
 pub use journal::{Journal, TraceFile};
 pub use latency::{LatencyHistogram, StageLatency};
+pub use live::{LiveMetrics, LiveSnapshot};
 pub use metrics::{CategoryYield, PatternYield, YieldMetrics};
 pub use telemetry::{
     CampaignTelemetry, ShardTelemetry, TelemetryConfig, TelemetryOptions,
 };
+pub use watchdog::{WatchdogConfig, WatchdogReport};

@@ -1,0 +1,210 @@
+//! Integration tests for the live observability plane: the `/metrics`
+//! exposition server scraped *while a campaign is running*, and the final
+//! live counters reconciled against the deterministic report.
+
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::obs::{LiveMetrics, MetricsServer, WatchdogConfig};
+use soft_repro::soft::campaign::{run_soft_parallel_live, CampaignConfig, LivePlane};
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::net::TcpStream;
+use std::sync::Arc;
+
+/// A minimal HTTP/1.1 GET over a std TcpStream: returns (status line, body).
+fn http_get(addr: &std::net::SocketAddr, path: &str) -> (String, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect to metrics server");
+    write!(stream, "GET {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n")
+        .expect("write request");
+    let mut response = String::new();
+    stream.read_to_string(&mut response).expect("read response");
+    let status = response.lines().next().unwrap_or_default().to_string();
+    let body = response
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    (status, body)
+}
+
+/// Parses the Prometheus text format into `name{labels} -> value`,
+/// validating the `# HELP` / `# TYPE` structure on the way: every sample
+/// must belong to a declared metric family.
+fn parse_prometheus(body: &str) -> HashMap<String, f64> {
+    let mut declared: Vec<String> = Vec::new();
+    let mut samples = HashMap::new();
+    for line in body.lines() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("metric name after # TYPE").to_string();
+            let kind = parts.next().expect("metric kind after name");
+            assert!(
+                matches!(kind, "counter" | "gauge"),
+                "unexpected metric kind {kind:?} in {line:?}"
+            );
+            declared.push(name);
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line.rsplit_once(' ').expect("sample is `name value`");
+        let family = key.split('{').next().expect("metric family");
+        assert!(
+            declared.iter().any(|d| d == family),
+            "sample {key:?} has no # TYPE declaration"
+        );
+        samples.insert(key.to_string(), value.parse::<f64>().expect("numeric sample"));
+    }
+    samples
+}
+
+/// Scrapes `/metrics` repeatedly while a campaign runs, then reconciles the
+/// final scrape against the deterministic report: statements, outcome
+/// classes, unique faults, and shard completion must all agree exactly once
+/// the run is over.
+#[test]
+fn metrics_endpoint_serves_a_running_campaign_and_reconciles_at_the_end() {
+    let metrics = Arc::new(LiveMetrics::new());
+    let mut server =
+        MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind on a free port");
+    let addr = server.local_addr();
+
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: 20_000,
+        per_seed_cap: 32,
+        ..CampaignConfig::default()
+    };
+    let plane = LivePlane {
+        metrics: Some(Arc::clone(&metrics)),
+        watchdog: Some(WatchdogConfig::default()),
+    };
+
+    let run = std::thread::scope(|scope| {
+        let campaign = scope.spawn(|| run_soft_parallel_live(&profile, &cfg, 4, &plane));
+        // Scrape live until the campaign thread finishes. Every mid-flight
+        // scrape must be well-formed and internally consistent, even though
+        // its counts are racing the workers.
+        let mut scrapes = 0usize;
+        while !campaign.is_finished() {
+            let (status, body) = http_get(&addr, "/metrics");
+            assert_eq!(status, "HTTP/1.1 200 OK");
+            let samples = parse_prometheus(&body);
+            let statements = samples["soft_statements_total"];
+            let planned = samples["soft_statements_planned"];
+            assert!(
+                planned == 0.0 || statements <= planned,
+                "executed {statements} past the planned {planned}"
+            );
+            scrapes += 1;
+        }
+        assert!(scrapes > 0, "campaign finished before a single scrape");
+        campaign.join().expect("campaign thread")
+    });
+
+    // The final scrape agrees with the deterministic report exactly.
+    let (status, body) = http_get(&addr, "/metrics");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let samples = parse_prometheus(&body);
+    let report = &run.report;
+    assert_eq!(samples["soft_statements_total"], report.statements_executed as f64);
+    assert_eq!(samples["soft_unique_faults_total"], report.findings.len() as f64);
+    assert_eq!(samples["soft_shards_total"], report.shards.len() as f64);
+    assert_eq!(samples["soft_shards_done"], report.shards.len() as f64);
+    assert_eq!(samples["soft_workers"], 4.0);
+    assert_eq!(samples[r#"soft_outcomes_total{class="error"}"#], report.errors as f64);
+    assert_eq!(
+        samples[r#"soft_outcomes_total{class="resource-limit"}"#],
+        report.false_positives as f64
+    );
+    // The four outcome classes partition the statement stream.
+    let outcome_sum: f64 = samples
+        .iter()
+        .filter(|(k, _)| k.starts_with("soft_outcomes_total{"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(outcome_sum, report.statements_executed as f64);
+    // Per-pattern executed counters partition it too (slot "seed" included).
+    let pattern_sum: f64 = samples
+        .iter()
+        .filter(|(k, _)| k.starts_with("soft_pattern_statements_total{"))
+        .map(|(_, v)| v)
+        .sum();
+    assert_eq!(pattern_sum, report.statements_executed as f64);
+    // Every shard heartbeat reports done (state gauge = 2).
+    for shard in 0..report.shards.len() {
+        assert_eq!(samples[&format!("soft_shard_state{{shard=\"{shard}\"}}")], 2.0);
+    }
+
+    // The other two endpoints serve the same registry.
+    let (status, body) = http_get(&addr, "/status");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let obj = soft_repro::obs::json::parse_object(body.trim()).expect("valid status JSON");
+    assert_eq!(
+        obj["statements"].as_num(),
+        Some(report.statements_executed as i64)
+    );
+    assert_eq!(obj["unique_faults"].as_num(), Some(report.findings.len() as i64));
+    assert_eq!(obj["dialect"].as_str(), Some("ClickHouse"));
+
+    let (status, curve) = http_get(&addr, "/curve");
+    assert_eq!(status, "HTTP/1.1 200 OK");
+    let bug_lines = curve.lines().filter(|l| l.contains("\"bug\"")).count();
+    assert_eq!(bug_lines, report.findings.len());
+    for line in curve.lines() {
+        soft_repro::obs::json::parse_object(line).expect("valid curve JSONL line");
+    }
+
+    // Unknown paths 404; non-GET methods 405.
+    let (status, _) = http_get(&addr, "/nope");
+    assert_eq!(status, "HTTP/1.1 404 Not Found");
+    server.shutdown();
+}
+
+/// The server binds, serves concurrent scrapers, shuts down idempotently,
+/// and a second registry can immediately reuse the port story (bind on 0).
+#[test]
+fn server_shutdown_is_clean_and_scrapes_are_concurrent() {
+    let metrics = Arc::new(LiveMetrics::new());
+    metrics.begin_campaign("DuckDB", 100, 2, 2);
+    let mut server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+    let addr = server.local_addr();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(move || {
+                    let (status, body) = http_get(&addr, "/metrics");
+                    assert_eq!(status, "HTTP/1.1 200 OK");
+                    assert!(body.contains("soft_statements_total"));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("scraper");
+        }
+    });
+    server.shutdown();
+    server.shutdown(); // idempotent
+    assert!(
+        TcpStream::connect(addr).is_err()
+            || http_get_after_shutdown(&addr),
+        "server still answering after shutdown"
+    );
+}
+
+/// After shutdown the listener is gone: either the connection is refused or
+/// nothing answers. (A race with the OS re-queueing the last poke
+/// connection is tolerated as long as no HTTP response comes back.)
+fn http_get_after_shutdown(addr: &std::net::SocketAddr) -> bool {
+    let Ok(mut stream) = TcpStream::connect(addr) else { return true };
+    let _ = write!(stream, "GET /metrics HTTP/1.1\r\n\r\n");
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_millis(500)));
+    let mut buf = String::new();
+    match stream.read_to_string(&mut buf) {
+        Ok(0) => true,
+        Ok(_) => buf.is_empty(),
+        Err(_) => true,
+    }
+}

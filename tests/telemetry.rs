@@ -13,9 +13,12 @@
 //!    offline analyzer and the live campaign can never drift apart.
 
 use soft_repro::dialects::{DialectId, DialectProfile};
-use soft_repro::obs::TraceFile;
-use soft_repro::soft::campaign::{run_soft_parallel, CampaignConfig};
+use soft_repro::obs::{LiveMetrics, TraceFile, WatchdogConfig};
+use soft_repro::soft::campaign::{
+    run_soft_parallel, run_soft_parallel_live, CampaignConfig, LivePlane,
+};
 use soft_repro::soft::{TelemetryConfig, TelemetryOptions};
+use std::sync::Arc;
 
 fn telemetry_config(budget: usize) -> CampaignConfig {
     CampaignConfig {
@@ -62,6 +65,39 @@ fn telemetry_is_byte_identical_across_worker_counts() {
                 dialect.name()
             );
         }
+    }
+}
+
+/// The live plane is a pure observer: with live metrics *and* the shard
+/// watchdog attached, the report is still byte-identical to the plain
+/// serial run at 1, 2, 4, and 7 workers — and the live registry's final
+/// counters agree with the report's deterministic tallies every time.
+#[test]
+fn live_plane_and_watchdog_preserve_byte_identical_reports() {
+    let profile = DialectProfile::build(DialectId::Postgres);
+    let cfg = telemetry_config(4_000);
+    let reference = run_soft_parallel(&profile, &cfg, 1);
+    for workers in [1usize, 2, 4, 7] {
+        let metrics = Arc::new(LiveMetrics::new());
+        let plane = LivePlane {
+            metrics: Some(Arc::clone(&metrics)),
+            watchdog: Some(WatchdogConfig::default()),
+        };
+        let run = run_soft_parallel_live(&profile, &cfg, workers, &plane);
+        assert_eq!(
+            reference, run.report,
+            "live plane leaked into the report at {workers} workers"
+        );
+        let watchdog = run.watchdog.expect("watchdog was configured");
+        assert!(
+            watchdog.stalls.is_empty(),
+            "deterministic in-process shards cannot stall: {:?}",
+            watchdog.stalls
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.statements as usize, run.report.statements_executed);
+        assert_eq!(snap.unique_faults as usize, run.report.findings.len());
+        assert_eq!(snap.shards_done as usize, run.report.shards.len());
     }
 }
 
@@ -137,4 +173,83 @@ fn trace_rendering_is_golden() {
         .expect("telemetry was on")
         .to_trace(Some(DialectId::Duckdb.name()), rerun.statements_executed);
     assert_eq!(soft_bench::render_trace(&rerun_trace), rendered);
+}
+
+/// Golden CSV export (`repro trace --csv`): over the same small DuckDB
+/// journal, the four CSV files carry exactly the journal's yield tables and
+/// growth curves, with stable headers — and the whole export is
+/// byte-identical across worker counts, like every other telemetry surface.
+#[test]
+fn trace_csv_export_is_golden() {
+    let profile = DialectProfile::build(DialectId::Duckdb);
+    let budget = 2_000;
+    let report = run_soft_parallel(&profile, &telemetry_config(budget), 3);
+    let telemetry = report.telemetry.as_ref().expect("telemetry was on");
+    let trace = telemetry.to_trace(Some(DialectId::Duckdb.name()), report.statements_executed);
+
+    let files = soft_bench::trace_csv_exports(&trace);
+    let names: Vec<&str> = files.iter().map(|(n, _)| *n).collect();
+    assert_eq!(
+        names,
+        ["pattern_yields.csv", "category_yields.csv", "coverage_curve.csv", "bug_curve.csv"]
+    );
+    let by_name = |name: &str| -> &str {
+        &files.iter().find(|(n, _)| *n == name).expect("file present").1
+    };
+
+    // pattern_yields: header + one row per pattern in the yield ledger,
+    // and the executed column reconciles with the journal.
+    let patterns = by_name("pattern_yields.csv");
+    let mut lines = patterns.lines();
+    assert_eq!(
+        lines.next(),
+        Some("pattern,generated,executed,crashes,errors,resource_limits,unique_bugs")
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), telemetry.yields.per_pattern.len());
+    let executed: usize = rows
+        .iter()
+        .map(|r| r.split(',').nth(2).expect("executed column").parse::<usize>().expect("count"))
+        .sum();
+    let seed_replays = telemetry.journal.events.iter().filter(|e| e.pattern.is_none()).count();
+    assert_eq!(executed + seed_replays, report.statements_executed);
+
+    // category_yields resolves (the header names DuckDB).
+    let categories = by_name("category_yields.csv");
+    assert!(categories.starts_with("category,executed,crashes,errors,unique_bugs\n"));
+    assert_eq!(categories.lines().count(), telemetry.yields.per_category.len() + 1);
+
+    // Curves: one row per point, matching the telemetry surfaces exactly.
+    let coverage = by_name("coverage_curve.csv");
+    assert!(coverage.starts_with("statements,functions,branches\n"));
+    assert_eq!(coverage.lines().count(), telemetry.curves.coverage.len() + 1);
+    for (line, p) in coverage.lines().skip(1).zip(&telemetry.curves.coverage) {
+        assert_eq!(line, format!("{},{},{}", p.statements, p.functions, p.branches));
+    }
+    let bugs = by_name("bug_curve.csv");
+    assert!(bugs.starts_with("statements,unique_bugs,fault_id\n"));
+    assert_eq!(bugs.lines().count(), report.findings.len() + 1);
+    for (line, f) in bugs.lines().skip(1).zip(&report.findings) {
+        assert!(line.ends_with(&f.fault_id), "curve order must be discovery order: {line}");
+    }
+
+    // Byte-identical across worker counts, like the rendered report.
+    let rerun = run_soft_parallel(&profile, &telemetry_config(budget), 6);
+    let rerun_trace = rerun
+        .telemetry
+        .as_ref()
+        .expect("telemetry was on")
+        .to_trace(Some(DialectId::Duckdb.name()), rerun.statements_executed);
+    assert_eq!(soft_bench::trace_csv_exports(&rerun_trace), files);
+
+    // And the writer puts the same bytes on disk.
+    let dir = std::env::temp_dir().join(format!("soft-trace-csv-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let written = soft_bench::write_trace_csv(&trace, &dir).expect("csv written");
+    assert_eq!(written.len(), files.len());
+    for (path, (name, contents)) in written.iter().zip(&files) {
+        assert_eq!(path.file_name().and_then(|n| n.to_str()), Some(*name));
+        assert_eq!(&std::fs::read_to_string(path).expect("readable"), contents);
+    }
+    std::fs::remove_dir_all(&dir).expect("cleanup");
 }
