@@ -4,9 +4,22 @@
 //! collected seeds, then streams pattern-generated statements into the
 //! engine under a statement budget — the reproduction's deterministic
 //! substitute for the paper's wall-clock budgets. Crashes are deduplicated
-//! by fault id; after each crash the database is "restarted"
-//! ([`soft_engine::Engine::reset_database`]) and preparation replayed, the
-//! way the paper's harness restarts its DBMS containers.
+//! by fault id; after each crash the database is "restarted" by snapshot
+//! restore ([`soft_engine::Engine::restore_database`]) from the prepared
+//! template engine — state-identical to the reset-and-replay-preparation
+//! loop the paper's harness performs on its DBMS containers, without
+//! re-executing the preparation statements.
+//!
+//! # Prepared execution
+//!
+//! Every planned statement is parsed **exactly once**: after planning, the
+//! campaign compiles the stream against the shard template
+//! (`Plan::prepare` → [`soft_engine::Engine::prepare`]), and the shards
+//! execute the owned ASTs via
+//! [`soft_engine::Engine::execute_prepared`]. The rendered SQL string is
+//! kept only for findings/PoCs and the event journal. Preparation also
+//! resolves every function name to its registry entry, so per-call dispatch
+//! inside the executor does zero heap allocation.
 //!
 //! # Parallel execution
 //!
@@ -41,12 +54,12 @@ use crate::collect::{self, Collection};
 use crate::patterns::{self, GenCtx, GeneratedCase};
 use crate::report::{BugFinding, CampaignReport, ShardStats};
 use soft_dialects::DialectProfile;
-use soft_engine::{Coverage, Engine, ExecOutcome, PatternId, SqlError};
+use soft_engine::{Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, SqlError};
 use soft_obs::{
     LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig,
     TelemetryOptions, WatchdogConfig, WatchdogReport,
 };
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -134,16 +147,61 @@ struct PlannedCase {
 }
 
 /// The planned campaign: the exact statement stream plus the provenance
-/// tables telemetry needs. Pure data — building it involves no engine.
+/// tables telemetry needs. Building it involves no engine; [`Plan::prepare`]
+/// then compiles the stream against the shard template so each statement is
+/// parsed exactly once and the shards execute owned ASTs.
 struct Plan {
     cases: Vec<PlannedCase>,
+    /// One prepared statement — or its pre-execution error, replayed as the
+    /// statement's outcome — per planned case, aligned with `cases`. Filled
+    /// by [`Plan::prepare`]; this is the campaign's single parse of each
+    /// statement.
+    prepared: Vec<Result<Prepared, SqlError>>,
     generated_per_pattern: Vec<(PatternId, usize)>,
     /// Root function of each seed statement (the first collected function
     /// expression), indexed by seed id — the journal's "target function"
-    /// for non-crashing statements.
-    seed_functions: Vec<Option<String>>,
+    /// for non-crashing statements. Interned once so the per-event journal
+    /// clones an `Arc`, not a `String`.
+    seed_functions: Vec<Option<Arc<str>>>,
     /// Wall-clock generation time per active pattern (telemetry only).
     generate_latency: Vec<Duration>,
+    /// Wall-clock prepare time per case (telemetry only, else empty) — the
+    /// parse-stage histogram, now genuinely disjoint from execution.
+    prepare_latency: Vec<Duration>,
+}
+
+impl Plan {
+    /// Parses every planned statement once against the template engine.
+    /// Serial by design: the prepared stream (like the plan itself) must be
+    /// independent of the worker count, and recording per-case wall-clock
+    /// here keeps the parse histogram deterministic in sample count.
+    fn prepare(&mut self, template: &Engine, timed: bool) {
+        self.prepared.reserve_exact(self.cases.len());
+        if timed {
+            self.prepare_latency.reserve_exact(self.cases.len());
+        }
+        for case in &self.cases {
+            let t = timed.then(Instant::now);
+            self.prepared.push(template.prepare(&case.sql));
+            if let Some(t) = t {
+                self.prepare_latency.push(t.elapsed());
+            }
+        }
+    }
+}
+
+/// Fault-id → (interned id, corpus spec), built once per campaign so the
+/// per-crash ground-truth lookup is O(1) instead of a linear scan over the
+/// fault corpus, and so crash telemetry reuses one interned id per fault
+/// instead of cloning the `String` per event.
+type FaultIndex<'p> = HashMap<&'p str, (Arc<str>, &'p FaultSpec)>;
+
+fn build_fault_index(profile: &DialectProfile) -> FaultIndex<'_> {
+    profile
+        .faults
+        .iter()
+        .map(|f| (f.spec.id.as_str(), (Arc::from(f.spec.id.as_str()), &f.spec)))
+        .collect()
 }
 
 /// Per-shard wall-clock observability (not part of the deterministic
@@ -283,15 +341,20 @@ pub fn run_soft_parallel_live(
     let ctx = GenCtx::new(&collection);
     let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
 
-    let plan = build_plan(&collection, &ctx, config, workers);
+    let mut plan = build_plan(&collection, &ctx, config, workers);
+    let fault_index = build_fault_index(profile);
 
     // The shard template: a fresh engine with preparation replayed. Cloning
-    // it is exactly the state the serial runner re-creates after a crash
-    // ("restart the DBMS, replay preparation").
+    // it (or restoring from it after a crash) is exactly the state the
+    // serial runner used to re-create by replaying preparation.
     let mut template = profile.engine();
     for sql in &prep {
         let _ = template.execute(sql);
     }
+
+    // Parse-once: compile the planned stream against the template. From here
+    // on the shards only execute ASTs.
+    plan.prepare(&template, telemetry_opts.is_some());
 
     let shard_size = config.shard_statements.max(1);
     let shards: Vec<(usize, usize)> = (0..plan.cases.len())
@@ -328,8 +391,8 @@ pub fn run_soft_parallel_live(
             for (i, &(start, len)) in shards.iter().enumerate() {
                 results.push(run_shard(
                     profile,
+                    &fault_index,
                     &template,
-                    &prep,
                     &plan,
                     start..start + len,
                     i,
@@ -345,8 +408,8 @@ pub fn run_soft_parallel_live(
                         let Some(&(start, len)) = shards.get(i) else { break };
                         let outcome = run_shard(
                             profile,
+                            &fault_index,
                             &template,
-                            &prep,
                             &plan,
                             start..start + len,
                             i,
@@ -415,6 +478,11 @@ pub fn run_soft_parallel_live(
             for d in &plan.generate_latency {
                 latency.generate.record(*d);
             }
+            // The parse stage is the campaign's central prepare pass: one
+            // sample per planned statement, disjoint from execution.
+            for d in &plan.prepare_latency {
+                latency.parse.record(*d);
+            }
             // Time the minimize stage over the unique findings (the PoCs the
             // paper's harness would report). The reducer only reads cloned
             // engines, so the report is untouched.
@@ -477,11 +545,13 @@ fn build_plan(
     let mut executed: HashSet<String> = HashSet::new();
 
     // Seed provenance for the event journal: the root (first collected)
-    // function expression of each seed statement.
-    let seed_functions: Vec<Option<String>> = collection
+    // function expression of each seed statement, interned once.
+    let seed_functions: Vec<Option<Arc<str>>> = collection
         .seeds
         .iter()
-        .map(|s| soft_parser::visit::collect_function_exprs(s).first().map(|f| f.name.clone()))
+        .map(|s| {
+            soft_parser::visit::collect_function_exprs(s).first().map(|f| Arc::from(f.name.as_str()))
+        })
         .collect();
 
     // Phase 1: the seeds themselves (they should be crash-free, but they
@@ -532,7 +602,24 @@ fn build_plan(
             break;
         }
     }
-    Plan { cases: plan, generated_per_pattern, seed_functions, generate_latency }
+    Plan {
+        cases: plan,
+        prepared: Vec::new(),
+        generated_per_pattern,
+        seed_functions,
+        generate_latency,
+        prepare_latency: Vec::new(),
+    }
+}
+
+/// Executes one prepared plan entry: the prepared AST when preparation
+/// succeeded, else its pre-execution error replayed as the outcome — the
+/// exact classification the string path produced for the same statement.
+fn execute_planned(engine: &mut Engine, prepared: &Result<Prepared, SqlError>) -> ExecOutcome {
+    match prepared {
+        Ok(p) => engine.execute_prepared(p),
+        Err(e) => ExecOutcome::Error(e.clone()),
+    }
 }
 
 /// Generates every pattern's case vector, each case tagged with the seed it
@@ -599,36 +686,47 @@ fn generate_cases(
 }
 
 /// The per-shard telemetry recorder: event buffer, coverage snapshots, and
-/// the parse/execute latency histograms. Only allocated when telemetry is
-/// on; the `Off` path pays a single `Option` check per statement.
+/// the execute latency histogram (the parse histogram is recorded centrally
+/// by the plan's prepare pass). Only allocated when telemetry is on; the
+/// `Off` path pays a single `Option` check per statement.
 struct ShardObserver<'a> {
     opts: &'a TelemetryOptions,
-    seed_functions: &'a [Option<String>],
+    seed_functions: &'a [Option<Arc<str>>],
+    fault_index: &'a FaultIndex<'a>,
     events: Vec<StatementEvent>,
     snapshots: Vec<(usize, Coverage)>,
     latency: StageLatency,
 }
 
 impl<'a> ShardObserver<'a> {
-    fn new(opts: &'a TelemetryOptions, seed_functions: &'a [Option<String>], len: usize) -> Self {
+    fn new(
+        opts: &'a TelemetryOptions,
+        seed_functions: &'a [Option<Arc<str>>],
+        fault_index: &'a FaultIndex<'a>,
+        len: usize,
+    ) -> Self {
         ShardObserver {
             opts,
             seed_functions,
+            fault_index,
             events: Vec::with_capacity(len),
             snapshots: Vec::new(),
             latency: StageLatency::new(),
         }
     }
 
-    /// Times the standalone parse and the engine execution of one
-    /// statement. `execute` includes the engine's internal parse (there is
-    /// no split entry point), so the parse histogram overlaps it by design.
-    fn execute_timed(&mut self, engine: &mut Engine, sql: &str) -> ExecOutcome {
+    /// Times the execution of one prepared statement. With the split entry
+    /// points the stage histograms are genuinely disjoint: parse time is
+    /// recorded once per statement by [`Plan::prepare`], and this measures
+    /// only [`Engine::execute_prepared`] (or, for statements whose
+    /// preparation failed, the replay of that error).
+    fn execute_timed(
+        &mut self,
+        engine: &mut Engine,
+        prepared: &Result<Prepared, SqlError>,
+    ) -> ExecOutcome {
         let t = Instant::now();
-        let _ = soft_parser::parse_statement(sql);
-        self.latency.parse.record(t.elapsed());
-        let t = Instant::now();
-        let outcome = engine.execute(sql);
+        let outcome = execute_planned(engine, prepared);
         self.latency.execute.record(t.elapsed());
         outcome
     }
@@ -644,11 +742,18 @@ impl<'a> ShardObserver<'a> {
         outcome: &ExecOutcome,
     ) {
         let function = match outcome {
-            ExecOutcome::Crash(c) if c.function.is_some() => c.function.clone(),
+            ExecOutcome::Crash(c) if c.function.is_some() => {
+                c.function.as_deref().map(Arc::from)
+            }
             _ => self.seed_functions.get(case.seed).cloned().flatten(),
         };
         let fault_id = match outcome {
-            ExecOutcome::Crash(c) => Some(c.fault_id.clone()),
+            ExecOutcome::Crash(c) => Some(
+                self.fault_index
+                    .get(c.fault_id.as_str())
+                    .map(|(id, _)| Arc::clone(id))
+                    .unwrap_or_else(|| Arc::from(c.fault_id.as_str())),
+            ),
             _ => None,
         };
         self.events.push(StatementEvent {
@@ -676,13 +781,13 @@ impl<'a> ShardObserver<'a> {
     }
 }
 
-/// Executes one shard of the planned stream on a private engine cloned from
-/// the prepared template. Pure function of (profile, template, shard range):
-/// no state is shared with other shards.
+/// Executes one shard of the planned (and prepared) stream on a private
+/// engine cloned from the template. Pure function of (profile, template,
+/// shard range): no state is shared with other shards.
 fn run_shard(
     profile: &DialectProfile,
+    fault_index: &FaultIndex<'_>,
     template: &Engine,
-    prep: &[String],
     plan: &Plan,
     range: std::ops::Range<usize>,
     shard: usize,
@@ -691,12 +796,13 @@ fn run_shard(
 ) -> ShardOutcome {
     let t0 = Instant::now();
     let start_offset = range.start;
-    let cases = &plan.cases[range];
+    let cases = &plan.cases[range.clone()];
+    let prepared = &plan.prepared[range];
     let mut engine = template.clone();
     let mut found: HashSet<String> = HashSet::new();
     let mut findings: Vec<BugFinding> = Vec::new();
-    let mut observer =
-        telemetry.map(|opts| ShardObserver::new(opts, &plan.seed_functions, cases.len()));
+    let mut observer = telemetry
+        .map(|opts| ShardObserver::new(opts, &plan.seed_functions, fault_index, cases.len()));
     // The live plane: this worker owns heartbeat slot `shard` exclusively
     // while the shard runs, so every update below is wait-free.
     let live = live.map(|m| (m, m.beats()));
@@ -709,11 +815,11 @@ fn run_shard(
     for (i, case) in cases.iter().enumerate() {
         let outcome = match &mut observer {
             Some(obs) => {
-                let outcome = obs.execute_timed(&mut engine, &case.sql);
+                let outcome = obs.execute_timed(&mut engine, &prepared[i]);
                 obs.observe(&engine, case, shard, start_offset + i + 1, &outcome);
                 outcome
             }
-            None => engine.execute(&case.sql),
+            None => execute_planned(&mut engine, &prepared[i]),
         };
         if let Some((m, beats)) = &live {
             m.record_statement(
@@ -731,11 +837,7 @@ fn run_shard(
                         m.record_unique_candidate(&c.fault_id);
                     }
                     // Look up the corpus entry for ground-truth metadata.
-                    let spec = profile
-                        .faults
-                        .iter()
-                        .find(|f| f.spec.id == c.fault_id)
-                        .map(|f| &f.spec);
+                    let spec = fault_index.get(c.fault_id.as_str()).map(|&(_, s)| s);
                     findings.push(BugFinding {
                         fault_id: c.fault_id.clone(),
                         dialect: profile.id,
@@ -753,11 +855,10 @@ fn run_shard(
                         fixed: spec.map(|s| s.fixed).unwrap_or(false),
                     });
                 }
-                // "Restart" the DBMS and re-prepare.
-                engine.reset_database();
-                for sql in prep {
-                    let _ = engine.execute(sql);
-                }
+                // "Restart" the DBMS: snapshot-restore from the prepared
+                // template — state-identical to reset + preparation replay,
+                // without re-executing the preparation statements.
+                engine.restore_database(template);
             }
             ExecOutcome::Error(SqlError::ResourceLimit(_)) => false_positives += 1,
             ExecOutcome::Error(_) => errors += 1,
@@ -799,6 +900,7 @@ pub fn run_generator(
     generator: &mut dyn StatementGenerator,
     max_statements: usize,
 ) -> CampaignReport {
+    let fault_index = build_fault_index(profile);
     let mut engine = profile.engine();
     let mut statements = 0usize;
     let mut false_positives = 0usize;
@@ -808,14 +910,14 @@ pub fn run_generator(
     while statements < max_statements {
         let Some(sql) = generator.next_statement() else { break };
         statements += 1;
-        match engine.execute(&sql) {
+        // Same prepared discipline as the campaign shards: parse once, then
+        // execute the AST (external generators stream, so prepare and
+        // execute are back to back here).
+        let prepared = engine.prepare(&sql);
+        match execute_planned(&mut engine, &prepared) {
             ExecOutcome::Crash(c) => {
                 if found.insert(c.fault_id.clone()) {
-                    let spec = profile
-                        .faults
-                        .iter()
-                        .find(|f| f.spec.id == c.fault_id)
-                        .map(|f| &f.spec);
+                    let spec = fault_index.get(c.fault_id.as_str()).map(|&(_, s)| s);
                     findings.push(BugFinding {
                         fault_id: c.fault_id.clone(),
                         dialect: profile.id,
@@ -1004,6 +1106,78 @@ mod tests {
         assert_eq!(executed + seed_replays, on.statements_executed);
         let unique: usize = tel.yields.per_pattern.values().map(|y| y.unique_bugs).sum();
         assert_eq!(unique, on.findings.len());
+    }
+
+    #[test]
+    fn prepared_path_matches_the_string_path_reference() {
+        // The pre-split execution semantics, replayed verbatim: render each
+        // planned case to SQL, execute the string, and on a crash reset the
+        // database and re-execute the preparation statements. The prepared
+        // pipeline (parse-once plan, AST execution, snapshot restore) must
+        // be byte-identical to it.
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig {
+            max_statements: 2_000,
+            per_seed_cap: 8,
+            ..CampaignConfig::default()
+        };
+        let report = run_soft(&profile, &cfg);
+
+        let collection = collect::collect(&profile);
+        let ctx = GenCtx::new(&collection);
+        let prep: Vec<String> =
+            collection.preparation.iter().map(|s| s.to_string()).collect();
+        let plan = build_plan(&collection, &ctx, &cfg, 1);
+        let mut template = profile.engine();
+        for sql in &prep {
+            let _ = template.execute(sql);
+        }
+
+        let shard_size = cfg.shard_statements.max(1);
+        let mut merged: Vec<(String, usize)> = Vec::new();
+        let mut global_found: HashSet<String> = HashSet::new();
+        let mut coverage = Coverage::new();
+        let (mut statements, mut fp, mut errs) = (0usize, 0usize, 0usize);
+        for (si, chunk) in plan.cases.chunks(shard_size).enumerate() {
+            let start_offset = si * shard_size;
+            let mut engine = template.clone();
+            let mut found: HashSet<String> = HashSet::new();
+            let mut shard_findings: Vec<(String, usize)> = Vec::new();
+            for (i, case) in chunk.iter().enumerate() {
+                statements += 1;
+                match engine.execute(&case.sql) {
+                    ExecOutcome::Crash(c) => {
+                        if found.insert(c.fault_id.clone()) {
+                            shard_findings.push((c.fault_id, start_offset + i + 1));
+                        }
+                        engine.reset_database();
+                        for sql in &prep {
+                            let _ = engine.execute(sql);
+                        }
+                    }
+                    ExecOutcome::Error(SqlError::ResourceLimit(_)) => fp += 1,
+                    ExecOutcome::Error(_) => errs += 1,
+                    ExecOutcome::Rows(_) | ExecOutcome::Ok(_) => {}
+                }
+            }
+            coverage.merge(engine.coverage());
+            for f in shard_findings {
+                if global_found.insert(f.0.clone()) {
+                    merged.push(f);
+                }
+            }
+        }
+
+        assert_eq!(statements, report.statements_executed);
+        assert_eq!(fp, report.false_positives);
+        assert_eq!(errs, report.errors);
+        assert_eq!(coverage.functions_triggered(), report.functions_triggered);
+        assert_eq!(coverage.branches_covered(), report.branches_covered);
+        assert_eq!(merged.len(), report.findings.len());
+        for ((id, at), f) in merged.iter().zip(&report.findings) {
+            assert_eq!(id, &f.fault_id);
+            assert_eq!(*at, f.statements_until_found);
+        }
     }
 
     #[test]

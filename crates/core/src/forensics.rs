@@ -49,7 +49,7 @@ pub fn bundle_finding(
         credited_pattern: finding.credited_pattern.label().to_string(),
         found_by_pattern: finding.found_by_pattern.label().to_string(),
         function: finding.function.clone(),
-        seed_function: finding.seed_function.clone(),
+        seed_function: finding.seed_function.as_deref().map(str::to_string),
         bucket: bucket_key(
             profile.id.key(),
             &finding.stage.to_string(),

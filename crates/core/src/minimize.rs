@@ -26,6 +26,18 @@ fn crash_id(engine: &mut Engine, sql: &str) -> Option<String> {
     }
 }
 
+/// Returns the fault id an already-parsed candidate crashes with, if any —
+/// the reduction loop's hot path, which executes the AST directly and never
+/// touches the lexer. Safe to skip the engine's statement-length gate: every
+/// candidate is strictly shorter than the (gate-passing) PoC it shrinks.
+fn crash_id_parsed(engine: &mut Engine, stmt: &Statement) -> Option<String> {
+    let prepared = engine.prepare_parsed(stmt.clone());
+    match engine.execute_prepared(&prepared) {
+        ExecOutcome::Crash(c) => Some(c.fault_id),
+        _ => None,
+    }
+}
+
 /// Minimises `poc` against a fresh-engine factory, preserving its fault id.
 ///
 /// `make_engine` must produce an engine with any prerequisite state already
@@ -49,19 +61,23 @@ pub fn minimize(poc: &str, mut make_engine: impl FnMut() -> Engine) -> String {
         return poc.to_string();
     };
     let mut best = stmt;
+    let mut best_len = best.to_string().len();
     let mut changed = true;
     let mut rounds = 0;
     while changed && rounds < 8 {
         changed = false;
         rounds += 1;
         for candidate in simplifications(&best) {
-            let sql = candidate.to_string();
-            if sql.len() >= best.to_string().len() {
+            // Render only for the length metric; execution goes through the
+            // prepared path, so each reduction step skips the lexer.
+            let sql_len = candidate.to_string().len();
+            if sql_len >= best_len {
                 continue;
             }
             let mut engine = make_engine();
-            if crash_id(&mut engine, &sql) == Some(target.clone()) {
+            if crash_id_parsed(&mut engine, &candidate).as_deref() == Some(&target) {
                 best = candidate;
+                best_len = sql_len;
                 changed = true;
             }
         }

@@ -25,8 +25,10 @@ pub struct BugFinding {
     /// Function the crash occurred in.
     pub function: Option<String>,
     /// Root function of the seed the triggering statement derives from
-    /// (forensics provenance; `None` for external generators).
-    pub seed_function: Option<String>,
+    /// (forensics provenance; `None` for external generators). Interned —
+    /// the campaign shares one allocation per seed across findings and
+    /// journal events.
+    pub seed_function: Option<std::sync::Arc<str>>,
     /// The triggering statement.
     pub poc: String,
     /// How many statements had been executed when it fired.

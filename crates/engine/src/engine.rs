@@ -1,4 +1,10 @@
-//! The engine facade: configuration plus the public `execute` entry point.
+//! The engine facade: configuration plus the public execution entry points.
+//!
+//! Statements can be executed in one shot ([`Engine::execute`]) or split
+//! into [`Engine::prepare`] + [`Engine::execute_prepared`], the prepared-
+//! statement discipline real DBMSs use to amortise frontend cost: parsing
+//! and function-name resolution happen exactly once, and every subsequent
+//! execution walks the owned AST with allocation-free dispatch.
 
 use crate::catalog::Catalog;
 use crate::coverage::Coverage;
@@ -7,6 +13,7 @@ use crate::executor::Exec;
 use crate::fault::FaultSet;
 use crate::functions;
 use crate::registry::{FunctionRegistry, Limits, SessionState};
+use soft_parser::ast::Statement;
 use soft_types::cast::CastStrictness;
 
 /// Engine configuration — the knobs a dialect profile sets.
@@ -28,6 +35,39 @@ impl Default for EngineConfig {
             strictness: CastStrictness::Lenient,
             limits: Limits::default(),
         }
+    }
+}
+
+/// One entry of a [`Prepared`] statement's dispatch table: a function name
+/// as written in the statement, resolved once at prepare time to the
+/// registry's interned lowercase key and definition index.
+#[derive(Debug, Clone)]
+pub(crate) struct DispatchEntry {
+    /// The spelling used in the statement (`UPPER`, `uCaSe`, ...).
+    pub(crate) spelling: Box<str>,
+    /// The registry's stored lowercase key for that spelling — what
+    /// coverage records as the "called" name.
+    pub(crate) lower: Box<str>,
+    /// Index into the registry's definition table.
+    pub(crate) index: u32,
+}
+
+/// A statement prepared for execution: parsed once, with every resolvable
+/// function name case-folded and bound to its registry index up front, so
+/// [`Engine::execute_prepared`] does zero heap allocation per function
+/// dispatch. Produced by [`Engine::prepare`]; reusable any number of times
+/// against the engine that prepared it (or a clone of it — shard engines
+/// execute statements prepared by their template).
+#[derive(Debug, Clone)]
+pub struct Prepared {
+    pub(crate) stmt: Statement,
+    pub(crate) dispatch: Vec<DispatchEntry>,
+}
+
+impl Prepared {
+    /// The parsed statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
     }
 }
 
@@ -120,22 +160,68 @@ impl Engine {
         self.session = SessionState::default();
     }
 
-    /// Executes one SQL statement.
-    pub fn execute(&mut self, sql: &str) -> ExecOutcome {
+    /// Restores per-database state (catalog + session) from a snapshot
+    /// engine, keeping this engine's coverage and crash log. With a
+    /// snapshot that already has its preparation statements replayed, this
+    /// is the O(clone) equivalent of [`Engine::reset_database`] followed by
+    /// re-executing the preparation script — preparation is deterministic
+    /// and coverage is set-based, so the observable campaign state is
+    /// identical either way.
+    pub fn restore_database(&mut self, snapshot: &Engine) {
+        self.catalog = snapshot.catalog.clone();
+        self.session = snapshot.session.clone();
+    }
+
+    /// Prepares one SQL statement: the length gate and the parse — stage 1
+    /// of the pipeline — plus one-time case-insensitive resolution of every
+    /// function name to its registry index. The returned [`Prepared`] can
+    /// be executed repeatedly via [`Engine::execute_prepared`] without ever
+    /// touching the lexer or allocating during dispatch.
+    ///
+    /// Errors are exactly the outcomes [`Engine::execute`] would report
+    /// before reaching the executor: `ResourceLimit` for over-long
+    /// statements, `Parse` for lex/parse failures.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared, SqlError> {
         if sql.len() > self.config.limits.max_statement_bytes {
-            return ExecOutcome::Error(SqlError::ResourceLimit(format!(
+            return Err(SqlError::ResourceLimit(format!(
                 "statement longer than {} bytes",
                 self.config.limits.max_statement_bytes
             )));
         }
         // Stage 1: parsing.
-        let stmt = match soft_parser::parse_statement(sql) {
-            Ok(s) => s,
-            Err(e) => return ExecOutcome::Error(SqlError::Parse(e.to_string())),
-        };
-        // Stages 2-3: the executor folds optimization (constant handling,
-        // union alignment) into evaluation; fault specs carry the stage
-        // their original bug crashed in.
+        let stmt = soft_parser::parse_statement(sql)
+            .map_err(|e| SqlError::Parse(e.to_string()))?;
+        Ok(self.prepare_parsed(stmt))
+    }
+
+    /// Prepares an already-parsed statement (no length gate, no parse) —
+    /// the entry point for callers that own an AST, like the PoC minimiser,
+    /// which mutates statement trees directly and should not pay a render →
+    /// re-lex round trip per reduction step.
+    pub fn prepare_parsed(&self, stmt: Statement) -> Prepared {
+        let mut dispatch: Vec<DispatchEntry> = Vec::new();
+        soft_parser::visit::for_each_function_name(&stmt, |name| {
+            if dispatch.iter().any(|e| &*e.spelling == name) {
+                return;
+            }
+            if let Some((key, idx, _)) = self.registry.resolve_entry(name) {
+                dispatch.push(DispatchEntry {
+                    spelling: name.into(),
+                    lower: key.into(),
+                    index: idx as u32,
+                });
+            }
+        });
+        Prepared { stmt, dispatch }
+    }
+
+    /// Executes a prepared statement — stages 2-3 of the pipeline: the
+    /// executor folds optimization (constant handling, union alignment)
+    /// into evaluation; fault specs carry the stage their original bug
+    /// crashed in. Function calls dispatch through the statement's prepared
+    /// table (falling back to the registry's allocation-free lookup), so
+    /// the per-call hot path does no heap allocation.
+    pub fn execute_prepared(&mut self, prepared: &Prepared) -> ExecOutcome {
         let mut exec = Exec {
             registry: &self.registry,
             faults: &self.faults,
@@ -146,14 +232,26 @@ impl Engine {
             limits: self.config.limits,
             memory_used: 0,
             subquery_depth: 0,
+            dispatch: &prepared.dispatch,
+            feature_buf: String::new(),
         };
-        match exec.exec_statement(&stmt) {
+        match exec.exec_statement(&prepared.stmt) {
             Ok(outcome) => outcome,
             Err(EngineError::Sql(e)) => ExecOutcome::Error(e),
             Err(EngineError::Crash(c)) => {
                 self.crash_log.push(c.clone());
                 ExecOutcome::Crash(c)
             }
+        }
+    }
+
+    /// Executes one SQL statement: [`Engine::prepare`] composed with
+    /// [`Engine::execute_prepared`], with prepare-stage failures surfaced
+    /// as the same [`ExecOutcome::Error`]s the pre-split engine reported.
+    pub fn execute(&mut self, sql: &str) -> ExecOutcome {
+        match self.prepare(sql) {
+            Ok(prepared) => self.execute_prepared(&prepared),
+            Err(e) => ExecOutcome::Error(e),
         }
     }
 
@@ -493,6 +591,78 @@ mod tests {
         );
         assert_eq!(outs.len(), 3);
         assert!(matches!(outs[2], ExecOutcome::Rows(_)));
+    }
+
+    #[test]
+    fn prepared_execution_matches_one_shot_execution() {
+        for sql in [
+            "SELECT UPPER('abc')",
+            "SELECT uPpEr(LOWER('AbC'))",
+            "SELECT REPEAT('a', 9999999999)",
+            "SELECT NO_SUCH_FN(1)",
+            "SELECT 1 +",
+            "SELECT (SELECT MAX(x) FROM (SELECT 1 AS x) s)",
+        ] {
+            let mut one_shot = engine();
+            let mut split = engine();
+            let expected = one_shot.execute(sql);
+            let got = match split.prepare(sql) {
+                Ok(p) => split.execute_prepared(&p),
+                Err(e) => ExecOutcome::Error(e),
+            };
+            assert_eq!(got, expected, "{sql}: prepared path diverged");
+        }
+    }
+
+    #[test]
+    fn prepared_statements_are_reusable() {
+        let mut e = engine();
+        let p = e.prepare("SELECT LENGTH('abcd')").expect("parses");
+        for _ in 0..3 {
+            match e.execute_prepared(&p) {
+                ExecOutcome::Rows(rs) => assert_eq!(rs.scalar(), Some(&Value::Integer(4))),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn prepare_reports_the_pre_executor_outcomes() {
+        let e = engine();
+        assert!(matches!(e.prepare("SELECT"), Err(SqlError::Parse(_))));
+        let long = format!("SELECT '{}'", "a".repeat(2 << 20));
+        assert!(matches!(e.prepare(&long), Err(SqlError::ResourceLimit(_))));
+    }
+
+    #[test]
+    fn restore_database_equals_reset_plus_prep_replay() {
+        let prep = [
+            "CREATE TABLE snap (a INTEGER)",
+            "INSERT INTO snap VALUES (1), (2)",
+        ];
+        let mut template = engine();
+        for sql in prep {
+            let _ = template.execute(sql);
+        }
+        // Path A: the old recovery — reset, then replay preparation.
+        let mut a = template.clone();
+        let _ = a.execute("CREATE TABLE scratch (x INTEGER)");
+        let _ = a.execute("SELECT UPPER('boundary')");
+        a.reset_database();
+        for sql in prep {
+            let _ = a.execute(sql);
+        }
+        // Path B: snapshot restore from the prepared template.
+        let mut b = template.clone();
+        let _ = b.execute("CREATE TABLE scratch (x INTEGER)");
+        let _ = b.execute("SELECT UPPER('boundary')");
+        b.restore_database(&template);
+        // Same catalog state (scratch gone, snap back), same coverage.
+        assert!(a.catalog_mut().table("scratch").is_none());
+        assert!(b.catalog_mut().table("scratch").is_none());
+        assert_eq!(a.execute("SELECT COUNT(*) FROM snap"), b.execute("SELECT COUNT(*) FROM snap"));
+        assert_eq!(a.coverage().branches_covered(), b.coverage().branches_covered());
+        assert_eq!(a.coverage().functions_triggered(), b.coverage().functions_triggered());
     }
 
     #[test]

@@ -5,6 +5,7 @@
 
 use crate::catalog::{Catalog, Column};
 use crate::coverage::Coverage;
+use crate::engine::DispatchEntry;
 use crate::error::{EngineError, ResultSet, SqlError};
 use crate::eval::{Evaluated, Provenance};
 use crate::fault::FaultSet;
@@ -28,6 +29,12 @@ type BoundRows = (Vec<(String, usize)>, Vec<Vec<Evaluated>>);
 /// The executor borrows the engine's parts for one statement.
 pub(crate) struct Exec<'e> {
     pub registry: &'e FunctionRegistry,
+    /// Per-statement function-dispatch table built at prepare time: one
+    /// entry per distinct as-written spelling, carrying the interned
+    /// lowercase key and registry index so per-call lookup allocates
+    /// nothing. Empty for statements executed outside the prepared path
+    /// (the registry fallback still resolves every call).
+    pub dispatch: &'e [DispatchEntry],
     pub faults: &'e FaultSet,
     pub coverage: &'e mut Coverage,
     pub catalog: &'e mut Catalog,
@@ -36,6 +43,9 @@ pub(crate) struct Exec<'e> {
     pub limits: Limits,
     pub memory_used: usize,
     pub subquery_depth: usize,
+    /// Scratch buffer for coverage feature keys (reused across calls so the
+    /// per-call recording allocates nothing after the first use).
+    pub feature_buf: String,
 }
 
 /// A row-evaluation context: column bindings plus optional group rows for
@@ -721,8 +731,10 @@ impl<'e> Exec<'e> {
     }
 
     fn eval_column(&mut self, name: &str, ctx: RowCtx<'_>) -> Result<Evaluated, EngineError> {
-        let lower = name.to_ascii_lowercase();
-        match ctx.columns.iter().find(|(n, _)| *n == lower) {
+        // Binding names are stored ASCII-lowercased, so a case-insensitive
+        // compare is equivalent to folding `name` — without the per-lookup
+        // String the fold used to allocate.
+        match ctx.columns.iter().find(|(n, _)| n.eq_ignore_ascii_case(name)) {
             Some((_, idx)) => match ctx.row {
                 Some(row) => Ok(row
                     .get(*idx)
@@ -1012,10 +1024,23 @@ impl<'e> Exec<'e> {
         fx: &FunctionExpr,
         ctx: RowCtx<'_>,
     ) -> Result<Evaluated, EngineError> {
-        let Some(def) = self.registry.resolve(&fx.name) else {
-            return self.sem(format!("unknown function {}", fx.name));
-        };
-        let def: FunctionDef = def.clone();
+        // Copy the shared-reference fields out of `self` so the resolved
+        // `&'e` borrows don't pin `self` (the old code cloned the def to
+        // work around exactly this; the dispatch table makes the whole
+        // lookup allocation-free instead).
+        let registry = self.registry;
+        let dispatch = self.dispatch;
+        // Fast path: the prepare-time dispatch table, keyed by as-written
+        // spelling. Fallback: the registry's allocation-free case-folded
+        // lookup (non-prepared execution, or names synthesised mid-plan).
+        let (called, def): (&'e str, &'e FunctionDef) =
+            match dispatch.iter().find(|e| &*e.spelling == fx.name.as_str()) {
+                Some(e) => (&e.lower, registry.def_at(e.index as usize)),
+                None => match registry.resolve_entry(&fx.name) {
+                    Some((key, _, def)) => (key, def),
+                    None => return self.sem(format!("unknown function {}", fx.name)),
+                },
+            };
         let canonical = def.name;
         // Arity check (COUNT(*) arrives as one Star argument).
         let argc = fx.args.len();
@@ -1036,7 +1061,7 @@ impl<'e> Exec<'e> {
                 for a in &fx.args {
                     args.push(self.eval(a, ctx)?);
                 }
-                self.invoke_scalar(&fx.name.to_ascii_lowercase(), canonical, &def, imp, &args)
+                self.invoke_scalar(called, canonical, def, imp, &args)
             }
             FunctionImpl::Aggregate(imp) => {
                 let Some(group) = ctx.group else {
@@ -1058,7 +1083,6 @@ impl<'e> Exec<'e> {
                 }
                 // Empty group with literal args: evaluate once against no
                 // row so faults/coverage still see the argument shapes.
-                let called = fx.name.to_ascii_lowercase();
                 if per_row.is_empty() {
                     let mut args = Vec::with_capacity(argc);
                     let no_row = RowCtx { columns: ctx.columns, row: None, group: None };
@@ -1067,7 +1091,7 @@ impl<'e> Exec<'e> {
                     }
                     self.record_call(canonical, &args);
                     if let Some(fault) = self.faults.check_function(canonical, &args) {
-                        self.coverage.record_function(&called);
+                        self.coverage.record_function(called);
                         return Err(EngineError::Crash(fault.crash(Some(canonical))));
                     }
                 } else {
@@ -1076,7 +1100,7 @@ impl<'e> Exec<'e> {
                     }
                     for args in &per_row {
                         if let Some(fault) = self.faults.check_function(canonical, args) {
-                            self.coverage.record_function(&called);
+                            self.coverage.record_function(called);
                             return Err(EngineError::Crash(fault.crash(Some(canonical))));
                         }
                     }
@@ -1095,7 +1119,7 @@ impl<'e> Exec<'e> {
                 self.memory_used = mem;
                 match &result {
                     Err(EngineError::Sql(SqlError::TypeError(_))) => {}
-                    _ => self.coverage.record_function(&called),
+                    _ => self.coverage.record_function(called),
                 }
                 let value = result?;
                 Ok(Evaluated {
@@ -1107,23 +1131,33 @@ impl<'e> Exec<'e> {
     }
 
     fn record_call(&mut self, canonical: &str, args: &[Evaluated]) {
-        self.coverage
-            .record_feature(canonical, &format!("arity-{}", args.len().min(8)));
+        use std::fmt::Write as _;
+        // The feature keys are rebuilt in a buffer reused across calls —
+        // their bytes (what `record_feature` hashes) are exactly the strings
+        // the old per-key `format!`s produced, without the per-call
+        // allocations on the campaign's hottest path.
+        let mut key = std::mem::take(&mut self.feature_buf);
+        let mut feat = |coverage: &mut Coverage, args: std::fmt::Arguments<'_>| {
+            key.clear();
+            key.write_fmt(args).expect("writing to a String cannot fail");
+            coverage.record_feature(canonical, &key);
+        };
+        feat(&mut *self.coverage, format_args!("arity-{}", args.len().min(8)));
         for (i, a) in args.iter().enumerate().take(4) {
-            self.coverage
-                .record_feature(canonical, &format!("arg{i}-{}", a.value.data_type()));
+            feat(&mut *self.coverage, format_args!("arg{i}-{}", a.value.data_type()));
             for class in boundary::classify(&a.value) {
-                self.coverage.record_feature(canonical, &format!("arg{i}-{class:?}"));
+                feat(&mut *self.coverage, format_args!("arg{i}-{class:?}"));
             }
             // Provenance features: nested-function and cast-fed arguments
             // exercise different code paths.
             if a.provenance.from_function(None) {
-                self.coverage.record_feature(canonical, &format!("arg{i}-from-fn"));
+                feat(&mut *self.coverage, format_args!("arg{i}-from-fn"));
             }
             if a.provenance.via_cast(None) {
-                self.coverage.record_feature(canonical, &format!("arg{i}-via-cast"));
+                feat(&mut *self.coverage, format_args!("arg{i}-via-cast"));
             }
         }
+        self.feature_buf = key;
     }
 
     fn invoke_scalar(

@@ -350,12 +350,23 @@ impl FaultSpec {
 #[derive(Debug, Clone, Default)]
 pub struct FaultSet {
     specs: Vec<FaultSpec>,
+    /// Function-site spec indices keyed by function name, in spec order —
+    /// the per-call check is one map lookup (usually a miss) instead of a
+    /// scan over every spec.
+    by_function: std::collections::HashMap<String, Vec<u32>>,
 }
 
 impl FaultSet {
     /// Builds a fault set.
     pub fn new(specs: Vec<FaultSpec>) -> FaultSet {
-        FaultSet { specs }
+        let mut by_function: std::collections::HashMap<String, Vec<u32>> =
+            std::collections::HashMap::new();
+        for (i, s) in specs.iter().enumerate() {
+            if let FaultSite::Function(f) = &s.site {
+                by_function.entry(f.clone()).or_default().push(i as u32);
+            }
+        }
+        FaultSet { specs, by_function }
     }
 
     /// All specs.
@@ -373,11 +384,11 @@ impl FaultSet {
         self.specs.is_empty()
     }
 
-    /// Checks function-site faults for a call; returns the first match.
+    /// Checks function-site faults for a call; returns the first match (in
+    /// spec order, exactly as the pre-index linear scan did).
     pub fn check_function(&self, name: &str, args: &[Evaluated]) -> Option<&FaultSpec> {
-        self.specs.iter().find(|s| {
-            matches!(&s.site, FaultSite::Function(f) if f == name) && s.trigger.matches(args)
-        })
+        let candidates = self.by_function.get(name)?;
+        candidates.iter().map(|&i| &self.specs[i as usize]).find(|s| s.trigger.matches(args))
     }
 
     /// Checks cast-site faults; `value` is the *pre-cast* operand.

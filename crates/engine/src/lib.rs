@@ -35,7 +35,7 @@ pub mod registry;
 mod engine;
 
 pub use coverage::Coverage;
-pub use engine::{Engine, EngineConfig};
+pub use engine::{Engine, EngineConfig, Prepared};
 pub use error::{CrashKind, CrashReport, ExecOutcome, ResultSet, SqlError, Stage};
 pub use eval::{Evaluated, Provenance};
 pub use fault::{FaultSet, FaultSite, FaultSpec, PatternId, ProvPred, Trigger, ValuePred};

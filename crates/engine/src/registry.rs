@@ -108,7 +108,45 @@ impl FunctionRegistry {
 
     /// Resolves a (case-insensitive) name to its definition.
     pub fn resolve(&self, name: &str) -> Option<&FunctionDef> {
-        self.by_name.get(&name.to_ascii_lowercase()).map(|&i| &self.defs[i])
+        self.resolve_entry(name).map(|(_, _, def)| def)
+    }
+
+    /// Resolves a (case-insensitive) name to its interned registry entry:
+    /// the map's stored lowercase key, the definition's index (stable for
+    /// the registry's lifetime — registration is append-only), and the
+    /// definition itself.
+    ///
+    /// The case fold happens in a stack buffer, so the lookup allocates
+    /// nothing for names up to 64 bytes (every builtin and alias is far
+    /// shorter); the returned `&str` is the registry's own key, which lets
+    /// callers keep an interned lowercase spelling without re-folding.
+    pub fn resolve_entry(&self, name: &str) -> Option<(&str, usize, &FunctionDef)> {
+        let mut buf = [0u8; 64];
+        if name.len() <= buf.len() {
+            let folded = &mut buf[..name.len()];
+            folded.copy_from_slice(name.as_bytes());
+            folded.make_ascii_lowercase();
+            // ASCII folding rewrites only bytes < 0x80, so the buffer is
+            // still the valid UTF-8 of the lowercased name.
+            let key = std::str::from_utf8(folded).expect("ascii fold preserves utf-8");
+            self.entry_for_key(key)
+        } else {
+            self.entry_for_key(&name.to_ascii_lowercase())
+        }
+    }
+
+    fn entry_for_key(&self, key: &str) -> Option<(&str, usize, &FunctionDef)> {
+        let (stored, &idx) = self.by_name.get_key_value(key)?;
+        Some((stored.as_str(), idx, &self.defs[idx]))
+    }
+
+    /// The definition at a [`FunctionRegistry::resolve_entry`] index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` did not come from this registry's `resolve_entry`.
+    pub fn def_at(&self, idx: usize) -> &FunctionDef {
+        &self.defs[idx]
     }
 
     /// Removes a name (canonical or alias) from the registry, so dialects
@@ -613,6 +651,24 @@ mod tests {
         assert!(r.resolve("Ucase").is_some());
         assert!(r.resolve("ghost").is_none());
         assert_eq!(r.name_count(), 2);
+    }
+
+    #[test]
+    fn resolve_entry_interns_the_stored_key() {
+        let mut r = FunctionRegistry::new();
+        r.register(def("upper"));
+        r.alias("ucase", "upper");
+        let (key, idx, d) = r.resolve_entry("UpPeR").expect("resolves");
+        assert_eq!(key, "upper");
+        assert_eq!(d.name, "upper");
+        assert!(std::ptr::eq(d, r.def_at(idx)));
+        // Aliases intern their own lowercase spelling but share the index.
+        let (alias_key, alias_idx, _) = r.resolve_entry("UCase").expect("resolves");
+        assert_eq!(alias_key, "ucase");
+        assert_eq!(alias_idx, idx);
+        // Names beyond the stack buffer take the heap fallback path.
+        let long = "X".repeat(200);
+        assert!(r.resolve_entry(&long).is_none());
     }
 
     #[test]

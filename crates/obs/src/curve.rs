@@ -120,7 +120,7 @@ mod tests {
             pattern: None,
             function: None,
             outcome: OutcomeClass::Crash,
-            fault_id: Some(fault.to_string()),
+            fault_id: Some(fault.into()),
         }
     }
 

@@ -1,6 +1,7 @@
 //! The statement-level event record.
 
 use soft_engine::{ExecOutcome, PatternId, SqlError};
+use std::sync::Arc;
 
 /// What executing one statement produced, collapsed to the four classes the
 /// campaign distinguishes (result rows and non-query successes are both
@@ -72,18 +73,20 @@ pub struct StatementEvent {
     /// replays).
     pub pattern: Option<PatternId>,
     /// The statement's target function: the crash site when it crashed,
-    /// otherwise the root function of the originating seed.
-    pub function: Option<String>,
+    /// otherwise the root function of the originating seed. Interned
+    /// (`Arc<str>`) — the campaign records one event per statement, and the
+    /// same seed function is shared across thousands of events.
+    pub function: Option<Arc<str>>,
     /// Outcome class.
     pub outcome: OutcomeClass,
     /// The deduplication key of the crash, when `outcome` is
-    /// [`OutcomeClass::Crash`].
-    pub fault_id: Option<String>,
+    /// [`OutcomeClass::Crash`]. Interned per campaign fault.
+    pub fault_id: Option<Arc<str>>,
 }
 
 impl StatementEvent {
     /// Convenience constructor for a successful phase-1 seed replay.
-    pub fn seed(index: usize, shard: usize, seed: usize, function: Option<String>) -> Self {
+    pub fn seed(index: usize, shard: usize, seed: usize, function: Option<Arc<str>>) -> Self {
         StatementEvent {
             index,
             shard,

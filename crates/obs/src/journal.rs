@@ -209,13 +209,13 @@ fn parse_event(
             .get("pattern")
             .and_then(JsonValue::as_str)
             .and_then(PatternId::from_label),
-        function: obj.get("function").and_then(JsonValue::as_str).map(str::to_string),
+        function: obj.get("function").and_then(JsonValue::as_str).map(Into::into),
         outcome: obj
             .get("outcome")
             .and_then(JsonValue::as_str)
             .and_then(OutcomeClass::from_label)
             .ok_or_else(|| format!("line {lineno}: bad outcome"))?,
-        fault_id: obj.get("fault").and_then(JsonValue::as_str).map(str::to_string),
+        fault_id: obj.get("fault").and_then(JsonValue::as_str).map(Into::into),
     })
 }
 

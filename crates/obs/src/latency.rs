@@ -96,17 +96,20 @@ impl LatencyHistogram {
 
 /// Per-stage latency histograms for the campaign pipeline.
 ///
-/// `execute` includes the engine's internal parse (the engine has no split
-/// entry point); `parse` is measured by parsing the statement standalone, so
-/// the two overlap by one parse — documented in EXPERIMENTS.md.
+/// The stages are genuinely disjoint: `parse` times the campaign's central
+/// prepare pass (`Engine::prepare`, one parse per planned statement) and
+/// `execute` times only `Engine::execute_prepared` on the already-parsed
+/// AST — no statement is parsed twice, and no parse time is double-counted
+/// inside `execute`.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct StageLatency {
     /// Pattern-based case generation, one sample per (pattern) batch.
     pub generate: LatencyHistogram,
-    /// Standalone statement parsing, one sample per executed statement.
+    /// Statement preparation (`Engine::prepare`: the parse + function
+    /// resolution done once per planned statement).
     pub parse: LatencyHistogram,
-    /// Engine execution (including its internal parse), one sample per
-    /// executed statement.
+    /// Prepared-statement execution (`Engine::execute_prepared`, parse
+    /// excluded), one sample per executed statement.
     pub execute: LatencyHistogram,
     /// PoC minimisation, one sample per unique finding.
     pub minimize: LatencyHistogram,

@@ -169,9 +169,9 @@ mod tests {
             shard: 0,
             seed: Some(0),
             pattern,
-            function: Some(function.to_string()),
+            function: Some(function.into()),
             outcome,
-            fault_id: fault.map(str::to_string),
+            fault_id: fault.map(Into::into),
         }
     }
 

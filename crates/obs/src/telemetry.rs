@@ -185,7 +185,7 @@ mod tests {
         for (i, f) in fns.iter().enumerate() {
             cov.record_function(f);
             cov.record_branch(f, "site");
-            events.push(StatementEvent::seed(start + i + 1, index, i, Some(f.to_string())));
+            events.push(StatementEvent::seed(start + i + 1, index, i, Some((*f).into())));
         }
         ShardTelemetry {
             shard: index,

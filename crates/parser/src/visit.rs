@@ -223,6 +223,18 @@ pub fn collect_function_exprs(stmt: &Statement) -> Vec<FunctionExpr> {
     out
 }
 
+/// Calls `f` with the as-written name of every function expression in the
+/// statement (including inside subqueries), in visit order. Unlike
+/// [`collect_function_exprs`] this clones nothing — it exists so statement
+/// preparation can build its dispatch table without copying argument trees.
+pub fn for_each_function_name(stmt: &Statement, mut f: impl FnMut(&str)) {
+    visit_exprs(stmt, &mut |e| {
+        if let Expr::Function(fx) = e {
+            f(&fx.name);
+        }
+    });
+}
+
 /// Counts function expressions in the statement (the Table 2 metric).
 pub fn count_function_exprs(stmt: &Statement) -> usize {
     let mut n = 0;

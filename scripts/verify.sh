@@ -54,4 +54,15 @@ replay_out="$(cargo run --release --offline -q -p soft-bench --bin repro -- \
 printf '%s\n' "$replay_out" | grep -q "^replayed"
 rm -rf "$findings"
 
-echo "verify: OK (offline build + tests at both thread settings + docs + trace/forensics smoke)"
+echo "verify: prepared-execution bench smoke (1 warmup batch, tiny budget)"
+benchdir="$(mktemp -d -t soft-bench-XXXXXX)"
+# One short measurement window is enough to prove the bench builds, runs
+# both arms, and emits its JSON artifact; the real numbers come from a
+# full `cargo bench -p soft-bench --bench execute` (EXPERIMENTS.md,
+# "Prepared execution").
+SOFT_BENCH_WARMUP_MS=1 SOFT_BENCH_MEASURE_MS=50 SOFT_BENCH_JSON_DIR="$benchdir" \
+    cargo bench --offline -q -p soft-bench --bench execute > /dev/null
+test -s "$benchdir/BENCH_execute.json"
+rm -rf "$benchdir"
+
+echo "verify: OK (offline build + tests at both thread settings + docs + trace/forensics/bench smoke)"

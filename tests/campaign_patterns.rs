@@ -96,6 +96,38 @@ fn worker_count_never_changes_the_report() {
     }
 }
 
+/// The campaign executes prepared ASTs, but its findings report rendered
+/// SQL strings — replaying each reported PoC through the plain string path
+/// on a fresh engine must reproduce exactly the reported fault, so the
+/// prepared pipeline can never drift from the SQL it reports.
+#[test]
+fn reported_pocs_reproduce_their_faults_via_the_string_path() {
+    use soft_repro::engine::ExecOutcome;
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: 60_000,
+        per_seed_cap: 48,
+        ..CampaignConfig::default()
+    };
+    let report = run_soft(&profile, &cfg);
+    assert!(!report.findings.is_empty(), "need findings to replay");
+    let collection = soft_repro::soft::collect::collect(&profile);
+    for finding in &report.findings {
+        let mut engine = profile.engine();
+        for stmt in &collection.preparation {
+            let _ = engine.execute(&stmt.to_string());
+        }
+        match engine.execute(&finding.poc) {
+            ExecOutcome::Crash(c) => assert_eq!(
+                c.fault_id, finding.fault_id,
+                "PoC `{}` replayed to a different fault",
+                finding.poc
+            ),
+            other => panic!("PoC `{}` no longer crashes: {other:?}", finding.poc),
+        }
+    }
+}
+
 /// Shard stats in the report tile the statement stream exactly: offsets are
 /// contiguous, lengths sum to `statements_executed`, and per-shard crash
 /// counters sum to at least the number of unique findings.

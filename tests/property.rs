@@ -277,6 +277,72 @@ fn reference_engine_never_crashes() {
         );
 }
 
+/// Prepared execution is observationally identical to one-shot execution:
+/// for cases generated by all ten patterns on all seven dialect profiles
+/// (plus every fault witness), `prepare` + `execute_prepared` produces the
+/// exact same `ExecOutcome` as `execute` — including crash classification,
+/// fault ids, and the coverage the statement records.
+#[test]
+fn prepared_execution_matches_string_execution_on_pattern_cases() {
+    use soft_repro::dialects::{DialectId, DialectProfile};
+    use soft_repro::engine::{ExecOutcome, PatternId};
+    use soft_repro::soft::patterns::GenCtx;
+    use soft_repro::soft::{collect, patterns};
+
+    struct Corpus {
+        template: Engine,
+        cases: Vec<String>,
+    }
+    let corpora: Vec<Corpus> = DialectId::ALL
+        .iter()
+        .map(|&id| {
+            let profile = DialectProfile::build(id);
+            let collection = collect::collect(&profile);
+            let ctx = GenCtx::new(&collection);
+            let mut template = profile.engine();
+            for stmt in &collection.preparation {
+                let _ = template.execute(&stmt.to_string());
+            }
+            let mut cases: Vec<String> =
+                profile.faults.iter().map(|f| f.witness.clone()).collect();
+            let mut buf = Vec::new();
+            for pattern in PatternId::ALL {
+                for (si, seed) in collection.seeds.iter().enumerate().take(4) {
+                    patterns::apply_salted(pattern, seed, &ctx, 2, si, &mut buf);
+                }
+                cases.extend(buf.drain(..).map(|c| c.sql));
+            }
+            Corpus { template, cases }
+        })
+        .collect();
+
+    Check::new("prepared_execution_matches_string_execution").cases(600).run(
+        |rng| (rng.gen_range(0..DialectId::ALL.len()), rng.next_u64() as usize),
+        |&(di, ci)| {
+            let corpus = &corpora[di];
+            let sql = &corpus.cases[ci % corpus.cases.len()];
+            let mut string_path = corpus.template.clone();
+            let mut prepared_path = corpus.template.clone();
+            let expected = string_path.execute(sql);
+            let got = match prepared_path.prepare(sql) {
+                Ok(p) => prepared_path.execute_prepared(&p),
+                Err(e) => ExecOutcome::Error(e),
+            };
+            if got != expected {
+                return Err(format!("{sql}: string path {expected:?}, prepared path {got:?}"));
+            }
+            let same_coverage = string_path.coverage().functions_triggered()
+                == prepared_path.coverage().functions_triggered()
+                && string_path.coverage().branches_covered()
+                    == prepared_path.coverage().branches_covered();
+            if !same_coverage {
+                return Err(format!("{sql}: the two paths recorded different coverage"));
+            }
+            Ok(())
+        },
+    );
+}
+
 /// Boundary pool values never break the *parser* when substituted
 /// anywhere a generated statement puts them.
 #[test]

@@ -15,7 +15,7 @@
 use soft_repro::dialects::{DialectId, DialectProfile};
 use soft_repro::obs::{LiveMetrics, TraceFile, WatchdogConfig};
 use soft_repro::soft::campaign::{
-    run_soft_parallel, run_soft_parallel_live, CampaignConfig, LivePlane,
+    run_soft_parallel, run_soft_parallel_live, run_soft_parallel_timed, CampaignConfig, LivePlane,
 };
 use soft_repro::soft::{TelemetryConfig, TelemetryOptions};
 use std::sync::Arc;
@@ -98,6 +98,26 @@ fn live_plane_and_watchdog_preserve_byte_identical_reports() {
         assert_eq!(snap.statements as usize, run.report.statements_executed);
         assert_eq!(snap.unique_faults as usize, run.report.findings.len());
         assert_eq!(snap.shards_done as usize, run.report.shards.len());
+    }
+}
+
+/// The stage latency histograms are genuinely disjoint under prepared
+/// execution: the parse histogram is the central prepare pass (one sample
+/// per planned statement), execute times only `execute_prepared`, and the
+/// sample counts reconcile exactly with the report — at every worker count,
+/// since preparation happens once, before sharding.
+#[test]
+fn stage_latencies_are_disjoint_and_fully_sampled() {
+    let profile = DialectProfile::build(DialectId::Monetdb);
+    let cfg = telemetry_config(4_000);
+    for workers in [1usize, 4] {
+        let run = run_soft_parallel_timed(&profile, &cfg, workers);
+        let latency = run.stage_latency.as_ref().expect("telemetry was on");
+        let report = &run.report;
+        assert_eq!(latency.parse.samples() as usize, report.statements_executed);
+        assert_eq!(latency.execute.samples(), latency.parse.samples());
+        assert_eq!(latency.minimize.samples() as usize, report.findings.len());
+        assert_eq!(latency.generate.samples() as usize, report.generated_per_pattern.len());
     }
 }
 
