@@ -5,10 +5,11 @@
 //! table5 table6 bugs24h cases all`, plus the campaign/triage commands:
 //!
 //! * `repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]
-//!   [--metrics-addr ADDR] [--progress] [--findings DIR]` runs one
-//!   telemetry-on campaign, optionally exposing live Prometheus metrics
+//!   [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles]` runs
+//!   one telemetry-on campaign, optionally exposing live Prometheus metrics
 //!   over HTTP, ticking a TTY progress line, writing the JSONL event
-//!   journal, and emitting crash-forensics bundles;
+//!   journal, emitting crash-forensics bundles, and (with `--oracles`)
+//!   arming the wrong-result oracles — multi-form, pivot, differential;
 //! * `repro trace <journal.jsonl> [--csv DIR]` analyzes a journal offline:
 //!   outcome classes, top-yield pattern/category tables, the §7.5-style
 //!   growth curves — and, with `--csv`, the same data as CSV files;
@@ -18,8 +19,9 @@
 //!   under a findings root) and checks each PoC still fires its fault.
 //!
 //! Exit codes (the campaign contract, see EXPERIMENTS.md): `0` success /
-//! no crash findings, `2` usage error, `3` the campaign confirmed at
-//! least one crash finding; `repro replay` exits `1` when a bundle fails
+//! no findings, `2` usage error, `3` the campaign confirmed at least one
+//! crash finding, `4` it confirmed wrong-result (logic) findings only —
+//! crashes take precedence; `repro replay` exits `1` when a bundle fails
 //! to replay.
 
 use soft_bench::comparison::{render_metric, run_comparison, Tool, COMPARED_DIALECTS};
@@ -28,7 +30,7 @@ use soft_core::campaign::{
     run_campaign, run_soft_parallel_live, run_soft_parallel_timed, CampaignConfig, LivePlane,
 };
 use soft_core::report::render_table4;
-use soft_core::{TelemetryConfig, TelemetryOptions};
+use soft_core::{OracleConfig, TelemetryConfig, TelemetryOptions};
 use soft_dialects::{all_cases, CaseKind, DialectId, DialectProfile};
 use soft_obs::{Bundle, LiveMetrics, MetricsServer, TraceFile, WatchdogConfig};
 use soft_study::{analysis, studied_bugs};
@@ -95,15 +97,18 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a String> {
 /// `repro campaign <dialect>` — one telemetry-on campaign with the journal
 /// and yield surfaces printed, optionally persisted as JSONL, optionally
 /// observed live over HTTP (`--metrics-addr`) and on the TTY
-/// (`--progress`), optionally bundled for triage (`--findings`).
+/// (`--progress`), optionally bundled for triage (`--findings`), optionally
+/// armed with the wrong-result oracles (`--oracles`).
 ///
-/// Exits `3` when the campaign confirms at least one crash finding, so
-/// scripted sweeps can distinguish "ran clean" from "found bugs".
+/// Exits `3` when the campaign confirms at least one crash finding and `4`
+/// when it confirms wrong-result findings only — crashes take precedence —
+/// so scripted sweeps can distinguish "ran clean" from "found bugs" and
+/// tell the two planes apart.
 fn campaign(args: &[String], budget: usize) {
     let Some(id) = args.get(1).and_then(|n| dialect_by_name(n)) else {
         eprintln!(
             "usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH] \
-             [--metrics-addr ADDR] [--progress] [--findings DIR]"
+             [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles]"
         );
         eprintln!(
             "dialects: {}",
@@ -118,6 +123,7 @@ fn campaign(args: &[String], budget: usize) {
     let metrics_addr = flag_value(args, "--metrics-addr").cloned();
     let progress = args.iter().any(|a| a == "--progress");
     let findings_dir = flag_value(args, "--findings").map(std::path::PathBuf::from);
+    let oracles = args.iter().any(|a| a == "--oracles");
     hr(&format!("Telemetry campaign — {}", id.name()));
     let snapshot_interval = (budget / 20).clamp(100, 10_000);
     let cfg = CampaignConfig {
@@ -127,6 +133,7 @@ fn campaign(args: &[String], budget: usize) {
             snapshot_interval,
             journal_path: journal_path.clone(),
         }),
+        oracles: if oracles { OracleConfig::on() } else { OracleConfig::Off },
         ..CampaignConfig::default()
     };
     let profile = DialectProfile::build(id);
@@ -204,8 +211,13 @@ fn campaign(args: &[String], budget: usize) {
             }
         }
     }
-    if !report.findings.is_empty() {
+    // Crash findings take precedence over wrong-result findings: a run that
+    // confirmed both exits 3, a logic-only run exits 4, a clean run exits 0.
+    if report.crash_count() > 0 {
         std::process::exit(3);
+    }
+    if report.logic_count() > 0 {
+        std::process::exit(4);
     }
 }
 

@@ -75,9 +75,11 @@ fn rebuild_curves(trace: &TraceFile) -> GrowthCurves {
 }
 
 /// Quotes one CSV field: doubled quotes inside a quoted field (RFC 4180),
-/// applied only when the value needs it.
+/// applied only when the value needs it. A bare carriage return requires
+/// quoting just like a line feed — RFC 4180 treats CR, LF, and CRLF alike,
+/// and an unquoted CR splits the record in most readers.
 fn csv_field(s: &str) -> String {
-    if s.contains([',', '"', '\n']) {
+    if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {
         s.to_string()
@@ -93,33 +95,37 @@ pub fn trace_csv_exports(trace: &TraceFile) -> Vec<(&'static str, String)> {
     let curves = rebuild_curves(trace);
     let mut files: Vec<(&'static str, String)> = Vec::new();
 
-    let mut patterns =
-        String::from("pattern,generated,executed,crashes,errors,resource_limits,unique_bugs\n");
+    let mut patterns = String::from(
+        "pattern,generated,executed,crashes,errors,resource_limits,logic_bugs,unique_bugs\n",
+    );
     for (p, y) in &yields.per_pattern {
         let _ = writeln!(
             patterns,
-            "{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{}",
             p.label(),
             y.generated,
             y.executed,
             y.crashes,
             y.errors,
             y.resource_limits,
+            y.logic_bugs,
             y.unique_bugs
         );
     }
     files.push(("pattern_yields.csv", patterns));
 
     if resolved {
-        let mut categories = String::from("category,executed,crashes,errors,unique_bugs\n");
+        let mut categories =
+            String::from("category,executed,crashes,errors,logic_bugs,unique_bugs\n");
         for (c, y) in &yields.per_category {
             let _ = writeln!(
                 categories,
-                "{},{},{},{},{}",
+                "{},{},{},{},{},{}",
                 csv_field(c.label()),
                 y.executed,
                 y.crashes,
                 y.errors,
+                y.logic_bugs,
                 y.unique_bugs
             );
         }

@@ -51,10 +51,13 @@
 //! wall-clock surfaces, never inside [`CampaignReport`] equality.
 
 use crate::collect::{self, Collection};
+use crate::oracle::{self, OracleConfig, OracleKind, OracleOptions};
 use crate::patterns::{self, GenCtx, GeneratedCase};
-use crate::report::{BugFinding, CampaignReport, ShardStats};
+use crate::report::{BugFinding, CampaignReport, FindingKind, ShardStats};
 use soft_dialects::DialectProfile;
-use soft_engine::{Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, SqlError};
+use soft_engine::{
+    Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, SqlError, Stage,
+};
 use soft_obs::{
     LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig,
     TelemetryOptions, WatchdogConfig, WatchdogReport,
@@ -93,6 +96,13 @@ pub struct CampaignConfig {
     /// [`CampaignRun::stage_latency`]). The snapshot interval is part of the
     /// campaign semantics; the journal path is not (it only adds a sink).
     pub telemetry: TelemetryConfig,
+    /// Wrong-result detection knob (default [`OracleConfig::Off`]). When on,
+    /// the multi-form oracle re-executes every planned statement through its
+    /// equivalent forms, and the pivot / differential oracles run once after
+    /// the planned stream as a synthetic trailing shard. All oracle checks
+    /// are pure functions of the prepared template and the statement, so the
+    /// worker-count-invariance guarantee holds with oracles on.
+    pub oracles: OracleConfig,
 }
 
 impl Default for CampaignConfig {
@@ -104,6 +114,7 @@ impl Default for CampaignConfig {
             workers: default_workers(),
             shard_statements: 256,
             telemetry: TelemetryConfig::Off,
+            oracles: OracleConfig::Off,
         }
     }
 }
@@ -337,6 +348,7 @@ pub fn run_soft_parallel_live(
     let t0 = Instant::now();
     let workers = n_workers.max(1);
     let telemetry_opts = config.telemetry.options();
+    let oracle_opts = config.oracles.options();
     let collection = collect::collect(profile);
     let ctx = GenCtx::new(&collection);
     let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
@@ -397,6 +409,7 @@ pub fn run_soft_parallel_live(
                     start..start + len,
                     i,
                     telemetry_opts,
+                    oracle_opts,
                     live_metrics,
                 ));
             }
@@ -414,6 +427,7 @@ pub fn run_soft_parallel_live(
                             start..start + len,
                             i,
                             telemetry_opts,
+                            oracle_opts,
                             live_metrics,
                         );
                         done.lock().expect("shard results poisoned").push(outcome);
@@ -463,6 +477,65 @@ pub fn run_soft_parallel_live(
         }
     }
 
+    // Campaign-level oracles: the pivot probes and the cross-dialect
+    // differential suite run once, after the planned stream, and their
+    // events land in a synthetic trailing shard (index `shards.len()`) so
+    // the journal stays globally ordered. Everything here is a pure
+    // function of (profile, template), so the report stays byte-identical
+    // across worker counts.
+    if let Some(opts) = oracle_opts {
+        let mut hits: Vec<(String, oracle::LogicBug, String)> = Vec::new();
+        if opts.pivot {
+            hits.extend(oracle::pivot_check(&template));
+        }
+        if opts.differential {
+            hits.extend(oracle::differential_check(profile));
+        }
+        let mut oracle_events: Vec<StatementEvent> = Vec::new();
+        for (k, (fault_id, bug, poc)) in hits.into_iter().enumerate() {
+            let index = statements + k + 1;
+            if telemetry_opts.is_some() {
+                oracle_events.push(StatementEvent {
+                    index,
+                    shard: shards.len(),
+                    seed: None,
+                    pattern: None,
+                    function: None,
+                    outcome: OutcomeClass::LogicBug,
+                    fault_id: Some(Arc::from(fault_id.as_str())),
+                });
+            }
+            if found.insert(fault_id.clone()) {
+                if let Some(m) = live_metrics {
+                    m.record_unique_candidate(&fault_id);
+                }
+                findings.push(BugFinding {
+                    fault_id,
+                    dialect: profile.id,
+                    kind: FindingKind::Logic(bug),
+                    stage: Stage::Execution,
+                    category: soft_types::category::FunctionCategory::System,
+                    credited_pattern: PatternId::P1_2,
+                    found_by_pattern: PatternId::P1_2,
+                    function: None,
+                    seed_function: None,
+                    poc,
+                    statements_until_found: index,
+                    fixed: false,
+                });
+            }
+        }
+        if !oracle_events.is_empty() {
+            shard_telemetry.push(ShardTelemetry {
+                shard: shards.len(),
+                events: oracle_events,
+                snapshots: Vec::new(),
+                final_coverage: Coverage::new(),
+                latency: StageLatency::new(),
+            });
+        }
+    }
+
     // Telemetry merge: deterministic (journal, yields, curves) into the
     // report; wall-clock (stage latencies) into the run.
     let (telemetry, stage_latency) = match telemetry_opts {
@@ -485,10 +558,22 @@ pub fn run_soft_parallel_live(
             }
             // Time the minimize stage over the unique findings (the PoCs the
             // paper's harness would report). The reducer only reads cloned
-            // engines, so the report is untouched.
+            // engines, so the report is untouched. Crash PoCs reduce under
+            // the crash signature, multi-form PoCs under the oracle verdict;
+            // pivot/differential PoCs are fixed probe queries — already
+            // minimal, but still one sample each so the histogram keeps one
+            // entry per finding.
             for f in &findings {
                 let t = Instant::now();
-                let _ = crate::minimize::minimize(&f.poc, || template.clone());
+                match &f.kind {
+                    FindingKind::Crash(_) => {
+                        let _ = crate::minimize::minimize(&f.poc, || template.clone());
+                    }
+                    FindingKind::Logic(b) if b.oracle == OracleKind::MultiForm => {
+                        let _ = crate::minimize::minimize_logic(&f.poc, || template.clone());
+                    }
+                    FindingKind::Logic(_) => {}
+                }
                 latency.minimize.record(t.elapsed());
             }
             if let Some(path) = &opts.journal_path {
@@ -733,6 +818,9 @@ impl<'a> ShardObserver<'a> {
 
     /// Records the event for one executed statement, plus the coverage
     /// snapshot when the global index crosses the sampling interval.
+    /// `logic` carries the multi-form oracle's fault id when the oracle
+    /// flagged the statement; it overrides the surface outcome class, the
+    /// same precedence the finding merge applies.
     fn observe(
         &mut self,
         engine: &Engine,
@@ -740,6 +828,7 @@ impl<'a> ShardObserver<'a> {
         shard: usize,
         index: usize,
         outcome: &ExecOutcome,
+        logic: Option<&Arc<str>>,
     ) {
         let function = match outcome {
             ExecOutcome::Crash(c) if c.function.is_some() => {
@@ -747,14 +836,18 @@ impl<'a> ShardObserver<'a> {
             }
             _ => self.seed_functions.get(case.seed).cloned().flatten(),
         };
-        let fault_id = match outcome {
-            ExecOutcome::Crash(c) => Some(
-                self.fault_index
-                    .get(c.fault_id.as_str())
-                    .map(|(id, _)| Arc::clone(id))
-                    .unwrap_or_else(|| Arc::from(c.fault_id.as_str())),
+        let (class, fault_id) = match (logic, outcome) {
+            (Some(fault), _) => (OutcomeClass::LogicBug, Some(Arc::clone(fault))),
+            (None, ExecOutcome::Crash(c)) => (
+                OutcomeClass::of(outcome),
+                Some(
+                    self.fault_index
+                        .get(c.fault_id.as_str())
+                        .map(|(id, _)| Arc::clone(id))
+                        .unwrap_or_else(|| Arc::from(c.fault_id.as_str())),
+                ),
             ),
-            _ => None,
+            (None, _) => (OutcomeClass::of(outcome), None),
         };
         self.events.push(StatementEvent {
             index,
@@ -762,7 +855,7 @@ impl<'a> ShardObserver<'a> {
             seed: Some(case.seed),
             pattern: case.pattern,
             function,
-            outcome: OutcomeClass::of(outcome),
+            outcome: class,
             fault_id,
         });
         if index % self.opts.snapshot_interval.max(1) == 0 {
@@ -792,6 +885,7 @@ fn run_shard(
     range: std::ops::Range<usize>,
     shard: usize,
     telemetry: Option<&TelemetryOptions>,
+    oracles: Option<&OracleOptions>,
     live: Option<&LiveMetrics>,
 ) -> ShardOutcome {
     let t0 = Instant::now();
@@ -812,22 +906,73 @@ fn run_shard(
     let mut crashes = 0usize;
     let mut false_positives = 0usize;
     let mut errors = 0usize;
+    let mut logic_bugs = 0usize;
     for (i, case) in cases.iter().enumerate() {
         let outcome = match &mut observer {
-            Some(obs) => {
-                let outcome = obs.execute_timed(&mut engine, &prepared[i]);
-                obs.observe(&engine, case, shard, start_offset + i + 1, &outcome);
-                outcome
-            }
+            Some(obs) => obs.execute_timed(&mut engine, &prepared[i]),
             None => execute_planned(&mut engine, &prepared[i]),
         };
-        if let Some((m, beats)) = &live {
-            m.record_statement(
-                &beats[shard],
+        // The multi-form oracle inspects every statement the crash plane
+        // passed on. It re-executes the statement's forms on private clones
+        // of the *template* (never this shard's engine), so the verdict is
+        // a pure function of (template, statement) — shard state and worker
+        // count cannot change it.
+        let logic = match (&outcome, oracles) {
+            (ExecOutcome::Crash(_), _) | (_, None) => None,
+            (_, Some(opts)) if !opts.multi_form => None,
+            (_, Some(_)) => prepared[i].as_ref().ok().and_then(|p| {
+                oracle::multi_form_check(template, &case.sql, p.statement())
+                    .map(|bug| (oracle::multi_form_fault_id(p.statement()), bug))
+            }),
+        };
+        let logic_fault: Option<Arc<str>> =
+            logic.as_ref().map(|((id, _), _)| Arc::from(id.as_str()));
+        if let Some(obs) = &mut observer {
+            obs.observe(
+                &engine,
+                case,
+                shard,
                 start_offset + i + 1,
-                case.pattern,
-                OutcomeClass::of(&outcome),
+                &outcome,
+                logic_fault.as_ref(),
             );
+        }
+        if let Some((m, beats)) = &live {
+            let class = if logic.is_some() {
+                OutcomeClass::LogicBug
+            } else {
+                OutcomeClass::of(&outcome)
+            };
+            m.record_statement(&beats[shard], start_offset + i + 1, case.pattern, class);
+        }
+        if let Some(((fault_id, function), bug)) = logic {
+            logic_bugs += 1;
+            if found.insert(fault_id.clone()) {
+                if let Some((m, _)) = &live {
+                    m.record_unique_candidate(&fault_id);
+                }
+                let category = function
+                    .as_deref()
+                    .and_then(|f| profile.registry.resolve(f).map(|d| d.category))
+                    .unwrap_or(soft_types::category::FunctionCategory::System);
+                findings.push(BugFinding {
+                    fault_id,
+                    dialect: profile.id,
+                    kind: FindingKind::Logic(bug),
+                    stage: Stage::Execution,
+                    category,
+                    credited_pattern: case.pattern.unwrap_or(PatternId::P1_2),
+                    found_by_pattern: case.pattern.unwrap_or(PatternId::P1_2),
+                    function,
+                    seed_function: plan.seed_functions.get(case.seed).cloned().flatten(),
+                    poc: case.sql.clone(),
+                    statements_until_found: start_offset + i + 1,
+                    fixed: false,
+                });
+            }
+            // The statement is accounted as a wrong result; its surface
+            // outcome class (rows, ok, error) does not also count below.
+            continue;
         }
         match outcome {
             ExecOutcome::Crash(c) => {
@@ -841,7 +986,7 @@ fn run_shard(
                     findings.push(BugFinding {
                         fault_id: c.fault_id.clone(),
                         dialect: profile.id,
-                        kind: c.kind,
+                        kind: FindingKind::Crash(c.kind),
                         stage: c.stage,
                         category: spec
                             .map(|s| s.category)
@@ -876,6 +1021,7 @@ fn run_shard(
             crashes,
             errors,
             false_positives,
+            logic_bugs,
         },
         findings,
         telemetry: observer.map(|obs| obs.finish(shard, &engine)),
@@ -921,7 +1067,7 @@ pub fn run_generator(
                     findings.push(BugFinding {
                         fault_id: c.fault_id.clone(),
                         dialect: profile.id,
-                        kind: c.kind,
+                        kind: FindingKind::Crash(c.kind),
                         stage: c.stage,
                         category: spec
                             .map(|s| s.category)
@@ -1198,5 +1344,68 @@ mod tests {
             assert_eq!(t.shard, s.shard);
             assert_eq!(t.statements, s.statements);
         }
+    }
+
+    #[test]
+    fn oracles_flag_wrong_results_and_keep_worker_invariance() {
+        // The ClickHouse seed corpus replays `SELECT toString(42)` in phase
+        // 1 at any budget, and the shipped provenance quirk makes it return
+        // "42.0" — the multi-form oracle must flag it, end to end.
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig {
+            max_statements: 3_000,
+            per_seed_cap: 4,
+            telemetry: TelemetryConfig::with_interval(500),
+            oracles: OracleConfig::on(),
+            ..CampaignConfig::default()
+        };
+        let serial = run_soft_parallel(&profile, &cfg, 1);
+        let logic: Vec<&BugFinding> =
+            serial.findings.iter().filter(|f| f.kind.logic().is_some()).collect();
+        assert!(
+            logic.iter().any(|f| f.fault_id == "logic-multiform-tostring"),
+            "seeded toString(42) must trip the multi-form oracle; findings: {:?}",
+            serial.findings.iter().map(|f| &f.fault_id).collect::<Vec<_>>()
+        );
+        for f in &logic {
+            let bug = f.kind.logic().expect("logic finding");
+            assert!(!bug.expected.is_empty() && !bug.actual.is_empty());
+            assert_ne!(bug.expected, bug.actual);
+        }
+        // Shard counters and the journal both carry the wrong-result class.
+        assert!(serial.shards.iter().map(|s| s.logic_bugs).sum::<usize>() > 0);
+        let tel = serial.telemetry.as_ref().expect("telemetry on");
+        assert!(tel
+            .journal
+            .events
+            .iter()
+            .any(|e| e.outcome == OutcomeClass::LogicBug
+                && e.fault_id.as_deref() == Some("logic-multiform-tostring")));
+        // The unique-bug curve steps on logic findings like crash findings.
+        assert!(tel.curves.bugs.iter().any(|b| b.fault_id == "logic-multiform-tostring"));
+
+        // Oracles are pure functions of (template, statement): the report —
+        // telemetry included — stays byte-identical across worker counts.
+        for workers in [2, 4, 7] {
+            assert_eq!(
+                run_soft_parallel(&profile, &cfg, workers),
+                serial,
+                "worker count leaked into the oracle-armed report"
+            );
+        }
+    }
+
+    #[test]
+    fn oracles_off_is_the_default_and_changes_nothing() {
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let cfg = CampaignConfig {
+            max_statements: 1_000,
+            per_seed_cap: 8,
+            ..CampaignConfig::default()
+        };
+        assert!(!cfg.oracles.is_on());
+        let report = run_soft(&profile, &cfg);
+        assert!(report.findings.iter().all(|f| f.kind.crash().is_some()));
+        assert!(report.shards.iter().all(|s| s.logic_bugs == 0));
     }
 }

@@ -10,8 +10,9 @@
 //! checking it still fires the recorded fault.
 
 use crate::collect;
-use crate::minimize::minimize;
-use crate::report::{BugFinding, CampaignReport};
+use crate::minimize::{minimize, minimize_logic};
+use crate::oracle::{self, OracleKind};
+use crate::report::{BugFinding, CampaignReport, FindingKind};
 use soft_dialects::{DialectId, DialectProfile};
 use soft_engine::{Engine, ExecOutcome};
 use soft_obs::forensics::bucket_key;
@@ -39,7 +40,17 @@ pub fn bundle_finding(
     findings_root: &str,
 ) -> Bundle {
     let template = prepared_engine(profile);
-    let poc = minimize(&finding.poc, || template.clone());
+    // Crash PoCs minimise under the crash signature; multi-form PoCs under
+    // the oracle's verdict. Pivot and differential findings carry fixed
+    // probe/corpus queries — already minimal, shipped verbatim.
+    let poc = match &finding.kind {
+        FindingKind::Crash(_) => minimize(&finding.poc, || template.clone()),
+        FindingKind::Logic(bug) if bug.oracle == OracleKind::MultiForm => {
+            minimize_logic(&finding.poc, || template.clone())
+        }
+        FindingKind::Logic(_) => finding.poc.clone(),
+    };
+    let verdict = finding.kind.logic();
     let mut bundle = Bundle {
         fault_id: finding.fault_id.clone(),
         dialect: profile.id.name().to_string(),
@@ -58,6 +69,9 @@ pub fn bundle_finding(
         ),
         statements_until_found: finding.statements_until_found,
         fixed: finding.fixed,
+        oracle: verdict.map(|b| b.oracle.label().to_string()),
+        expected: verdict.map(|b| b.expected.clone()),
+        actual: verdict.map(|b| b.actual.clone()),
         replay: String::new(),
         poc,
         original: finding.poc.clone(),
@@ -82,13 +96,18 @@ pub fn write_campaign_bundles(
 }
 
 /// Replays a bundle's minimized PoC against a freshly built profile (with
-/// preparation replayed, exactly like a campaign shard) and checks it still
-/// crashes with the recorded fault id. This is the triage contract: a bundle
-/// that fails replay is stale or corrupted.
+/// preparation replayed, exactly like a campaign shard) and checks the
+/// recorded verdict still holds: crash bundles must crash with the recorded
+/// fault id, logic bundles must still be flagged by the recorded oracle.
+/// This is the triage contract: a bundle that fails replay is stale or
+/// corrupted.
 pub fn replay_bundle(bundle: &Bundle) -> Result<(), String> {
     let id = DialectId::from_name(&bundle.dialect)
         .ok_or_else(|| format!("{}: unknown dialect {:?}", bundle.fault_id, bundle.dialect))?;
     let profile = DialectProfile::build(id);
+    if bundle.kind == "LOGIC" {
+        return replay_logic(&profile, bundle);
+    }
     let mut engine = prepared_engine(&profile);
     match engine.execute(&bundle.poc) {
         ExecOutcome::Crash(c) if c.fault_id == bundle.fault_id => Ok(()),
@@ -97,6 +116,52 @@ pub fn replay_bundle(bundle: &Bundle) -> Result<(), String> {
             bundle.fault_id, c.fault_id
         )),
         _ => Err(format!("{}: PoC no longer crashes", bundle.fault_id)),
+    }
+}
+
+/// Replays a wrong-result bundle through the oracle family its `oracle`
+/// label names and checks the finding still reproduces.
+fn replay_logic(profile: &DialectProfile, bundle: &Bundle) -> Result<(), String> {
+    let oracle_label = bundle.oracle.as_deref().unwrap_or("");
+    let kind = OracleKind::from_label(oracle_label).ok_or_else(|| {
+        format!("{}: unknown oracle {oracle_label:?}", bundle.fault_id)
+    })?;
+    let template = prepared_engine(profile);
+    match kind {
+        OracleKind::MultiForm => {
+            let stmt = soft_parser::parse_statement(&bundle.poc)
+                .map_err(|e| format!("{}: PoC no longer parses: {e}", bundle.fault_id))?;
+            match oracle::multi_form_check(&template, &bundle.poc, &stmt) {
+                Some(_) => Ok(()),
+                None => Err(format!(
+                    "{}: the multi-form oracle no longer flags the PoC",
+                    bundle.fault_id
+                )),
+            }
+        }
+        OracleKind::Pivot => {
+            let hit = oracle::pivot_check(&template)
+                .iter()
+                .any(|(fault, _, _)| *fault == bundle.fault_id);
+            if hit {
+                Ok(())
+            } else {
+                Err(format!("{}: the pivot probe no longer fails", bundle.fault_id))
+            }
+        }
+        OracleKind::Differential => {
+            let hit = oracle::differential_check(profile)
+                .iter()
+                .any(|(fault, _, _)| *fault == bundle.fault_id);
+            if hit {
+                Ok(())
+            } else {
+                Err(format!(
+                    "{}: the differential divergence no longer reproduces",
+                    bundle.fault_id
+                ))
+            }
+        }
     }
 }
 
@@ -148,6 +213,43 @@ mod tests {
             )
         );
         replay_bundle(&bundle).expect("minimized PoC must still fire the fault");
+    }
+
+    #[test]
+    fn logic_bundles_carry_the_verdict_and_replay_through_the_oracle() {
+        use soft_engine::{PatternId, Stage};
+        use soft_types::category::FunctionCategory;
+
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let template = prepared_engine(&profile);
+        let poc = "SELECT toString(42), 'decoy' LIMIT 3";
+        let stmt = soft_parser::parse_statement(poc).expect("parse");
+        let bug = oracle::multi_form_check(&template, poc, &stmt)
+            .expect("the shipped quirk must be flagged");
+        let finding = BugFinding {
+            fault_id: "logic-multiform-tostring".into(),
+            dialect: profile.id,
+            kind: FindingKind::Logic(bug),
+            stage: Stage::Execution,
+            category: FunctionCategory::Casting,
+            credited_pattern: PatternId::P1_2,
+            found_by_pattern: PatternId::P1_2,
+            function: Some("tostring".into()),
+            seed_function: None,
+            poc: poc.into(),
+            statements_until_found: 1,
+            fixed: false,
+        };
+        let bundle = bundle_finding(&profile, &finding, "findings");
+        assert_eq!(bundle.kind, "LOGIC");
+        assert_eq!(bundle.oracle.as_deref(), Some("multi-form"));
+        assert!(bundle.expected.is_some() && bundle.actual.is_some());
+        assert!(!bundle.poc.contains("decoy"), "logic PoC was not minimised: {}", bundle.poc);
+        replay_bundle(&bundle).expect("minimised logic PoC must still trip the oracle");
+
+        let mut tampered = bundle;
+        tampered.poc = "SELECT 1".into();
+        assert!(replay_bundle(&tampered).is_err(), "honest PoC must fail logic replay");
     }
 
     #[test]

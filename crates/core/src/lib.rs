@@ -27,6 +27,7 @@ pub mod collect;
 pub mod extend;
 pub mod forensics;
 pub mod minimize;
+pub mod oracle;
 pub mod patterns;
 pub mod pool;
 pub mod report;
@@ -37,8 +38,9 @@ pub use campaign::{
     ShardTiming, StatementGenerator,
 };
 pub use forensics::{bundle_finding, replay_all, replay_bundle, write_campaign_bundles};
+pub use oracle::{LogicBug, OracleConfig, OracleKind, OracleOptions};
 pub use patterns::{GenCtx, GeneratedCase};
-pub use report::{render_table4, BugFinding, CampaignReport, ShardStats};
+pub use report::{render_table4, BugFinding, CampaignReport, FindingKind, ShardStats};
 // The telemetry vocabulary, re-exported so campaign callers need not name
 // `soft-obs` directly.
 pub use soft_obs::{CampaignTelemetry, StageLatency, TelemetryConfig, TelemetryOptions};

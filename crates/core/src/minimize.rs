@@ -10,7 +10,15 @@
 //! 2. replace function arguments with simpler literals,
 //! 3. unwrap nested function calls and casts,
 //! 4. shorten long string literals and digit runs.
+//!
+//! Every accepted reduction is validated twice: once on the mutated AST
+//! (the fast path) and once on its *rendering*, re-entered through the
+//! string path. The minimised PoC is shipped as text — `repro replay`
+//! re-parses it — so a candidate whose rendering drifts from its AST
+//! (however the renderer evolves) must not be accepted on AST evidence
+//! alone.
 
+use crate::oracle::{self, LogicBug};
 use soft_engine::{Engine, ExecOutcome};
 use soft_parser::ast::{Expr, Literal, SelectItem, Statement};
 use soft_parser::visit;
@@ -68,16 +76,68 @@ pub fn minimize(poc: &str, mut make_engine: impl FnMut() -> Engine) -> String {
         changed = false;
         rounds += 1;
         for candidate in simplifications(&best) {
-            // Render only for the length metric; execution goes through the
-            // prepared path, so each reduction step skips the lexer.
-            let sql_len = candidate.to_string().len();
-            if sql_len >= best_len {
+            let rendered = candidate.to_string();
+            if rendered.len() >= best_len {
+                continue;
+            }
+            // Fast path first: execute the mutated AST directly. Only if
+            // the AST still crashes right do we pay the render → re-lex
+            // round trip that proves the *shipped text* crashes right too.
+            let mut engine = make_engine();
+            if crash_id_parsed(&mut engine, &candidate).as_deref() != Some(&target) {
                 continue;
             }
             let mut engine = make_engine();
-            if crash_id_parsed(&mut engine, &candidate).as_deref() == Some(&target) {
+            if crash_id(&mut engine, &rendered).as_deref() == Some(&target) {
+                best_len = rendered.len();
                 best = candidate;
-                best_len = sql_len;
+                changed = true;
+            }
+        }
+    }
+    best.to_string()
+}
+
+/// Minimises a wrong-result PoC flagged by the multi-form oracle,
+/// preserving the oracle's verdict: a reduction is accepted only while
+/// [`oracle::multi_form_check`], run on the candidate's *rendering*
+/// re-parsed through the string path, still reports a divergence. Inputs
+/// the oracle does not currently flag come back unchanged.
+///
+/// `make_engine` must produce the campaign's template engine (seed state
+/// loaded); the oracle clones it per form, so one template serves the whole
+/// reduction.
+pub fn minimize_logic(poc: &str, mut make_engine: impl FnMut() -> Engine) -> String {
+    let Ok(stmt) = soft_parser::parse_statement(poc) else {
+        return poc.to_string();
+    };
+    let template = make_engine();
+    let flags = |sql: &str, stmt: &Statement| -> Option<LogicBug> {
+        oracle::multi_form_check(&template, sql, stmt)
+    };
+    if flags(poc, &stmt).is_none() {
+        return poc.to_string();
+    }
+    let mut best = stmt;
+    let mut best_len = best.to_string().len();
+    let mut changed = true;
+    let mut rounds = 0;
+    while changed && rounds < 8 {
+        changed = false;
+        rounds += 1;
+        for candidate in simplifications(&best) {
+            let rendered = candidate.to_string();
+            if rendered.len() >= best_len {
+                continue;
+            }
+            // Judge the rendering re-parsed through the string path — the
+            // same text `repro replay` will feed the oracle.
+            let Ok(reparsed) = soft_parser::parse_statement(&rendered) else {
+                continue;
+            };
+            if flags(&rendered, &reparsed).is_some() {
+                best_len = rendered.len();
+                best = candidate;
                 changed = true;
             }
         }
@@ -233,6 +293,31 @@ mod tests {
         assert!(!minimized.contains("decoy"), "{minimized}");
         assert!(!minimized.contains("LIMIT"), "{minimized}");
         assert!(minimized.len() < inflated.len());
+    }
+
+    #[test]
+    fn logic_pocs_minimize_while_the_oracle_still_fires() {
+        // toString(42) trips the shipped ClickHouse provenance quirk; the
+        // reducer must strip the noise but never accept a candidate the
+        // multi-form oracle stops flagging (toString(1), bare 42, …).
+        let profile = DialectProfile::build(DialectId::Clickhouse);
+        let inflated = "SELECT toString(42), 'decoy', 12345 LIMIT 7";
+        let minimized = minimize_logic(inflated, || profile.engine());
+        assert!(!minimized.contains("decoy"), "{minimized}");
+        assert!(!minimized.contains("LIMIT"), "{minimized}");
+        assert!(minimized.contains("toString(42)"), "{minimized}");
+        let stmt = soft_parser::parse_statement(&minimized).expect("parse");
+        assert!(
+            oracle::multi_form_check(&profile.engine(), &minimized, &stmt).is_some(),
+            "minimised `{minimized}` no longer trips the oracle"
+        );
+    }
+
+    #[test]
+    fn unflagged_input_is_returned_unchanged_by_the_logic_reducer() {
+        let profile = DialectProfile::build(DialectId::Postgres);
+        let sql = "SELECT UPPER('abc')";
+        assert_eq!(minimize_logic(sql, || profile.engine()), sql);
     }
 
     #[test]

@@ -1,9 +1,48 @@
 //! Campaign findings and reports (the data behind Table 4 and §7.3).
 
+use crate::oracle::LogicBug;
 use soft_dialects::DialectId;
 use soft_engine::{CrashKind, PatternId, Stage};
 use soft_types::category::FunctionCategory;
 use std::collections::BTreeMap;
+
+/// What kind of bug a finding is: a crash (the paper's Table 4 classes) or
+/// a wrong result raised by one of the logic-bug oracles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FindingKind {
+    /// The statement crashed the engine; carries the Table 4 class.
+    Crash(CrashKind),
+    /// The statement completed with a wrong result; carries the oracle's
+    /// verdict.
+    Logic(LogicBug),
+}
+
+impl FindingKind {
+    /// Short label for tables and forensics bundles: the crash kind's
+    /// abbreviation, or `"LOGIC"` for wrong-result findings.
+    pub fn abbrev(&self) -> &'static str {
+        match self {
+            FindingKind::Crash(k) => k.abbrev(),
+            FindingKind::Logic(_) => "LOGIC",
+        }
+    }
+
+    /// The crash classification, when this is a crash.
+    pub fn crash(&self) -> Option<CrashKind> {
+        match self {
+            FindingKind::Crash(k) => Some(*k),
+            FindingKind::Logic(_) => None,
+        }
+    }
+
+    /// The oracle verdict, when this is a wrong result.
+    pub fn logic(&self) -> Option<&LogicBug> {
+        match self {
+            FindingKind::Crash(_) => None,
+            FindingKind::Logic(bug) => Some(bug),
+        }
+    }
+}
 
 /// One discovered bug.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -12,8 +51,8 @@ pub struct BugFinding {
     pub fault_id: String,
     /// Target it was found in.
     pub dialect: DialectId,
-    /// Crash classification.
-    pub kind: CrashKind,
+    /// Crash classification, or the logic-bug oracle's verdict.
+    pub kind: FindingKind,
     /// Stage of the crash.
     pub stage: Stage,
     /// Function category (Table 4's "Function Type").
@@ -58,6 +97,10 @@ pub struct ShardStats {
     pub errors: usize,
     /// Resource-limit kills observed.
     pub false_positives: usize,
+    /// Statements the logic-bug oracles flagged as wrong results
+    /// (including repeats of already-found faults). Zero when the campaign
+    /// runs with oracles off.
+    pub logic_bugs: usize,
 }
 
 /// The result of one campaign against one target.
@@ -100,13 +143,27 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// Findings per crash kind, Table 4 legend order.
+    /// Crash findings per crash kind, Table 4 legend order. Wrong-result
+    /// findings have no crash kind and are counted by [`logic_count`]
+    /// instead.
+    ///
+    /// [`logic_count`]: CampaignReport::logic_count
     pub fn by_kind(&self) -> Vec<(CrashKind, usize)> {
         CrashKind::ALL
             .iter()
-            .map(|k| (*k, self.findings.iter().filter(|f| f.kind == *k).count()))
+            .map(|k| (*k, self.findings.iter().filter(|f| f.kind.crash() == Some(*k)).count()))
             .filter(|(_, n)| *n > 0)
             .collect()
+    }
+
+    /// Number of crash findings.
+    pub fn crash_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.kind.crash().is_some()).count()
+    }
+
+    /// Number of wrong-result (logic-bug) findings.
+    pub fn logic_count(&self) -> usize {
+        self.findings.iter().filter(|f| f.kind.logic().is_some()).count()
     }
 
     /// Findings per credited pattern.
@@ -215,7 +272,7 @@ mod tests {
         BugFinding {
             fault_id: format!("{}-{}", kind.abbrev(), pattern.label()),
             dialect: DialectId::Mysql,
-            kind,
+            kind: FindingKind::Crash(kind),
             stage: Stage::Execution,
             category: cat,
             credited_pattern: pattern,
@@ -249,6 +306,7 @@ mod tests {
                 crashes: 3,
                 errors: 5,
                 false_positives: 2,
+                logic_bugs: 0,
             }],
             telemetry: None,
         }
@@ -292,6 +350,26 @@ mod tests {
             forward.by_pattern(),
             vec![(PatternId::P1_2, 1), (PatternId::P2_1, 1), (PatternId::P3_3, 1)]
         );
+    }
+
+    #[test]
+    fn logic_findings_count_separately_from_crashes() {
+        use crate::oracle::OracleKind;
+        let mut r = report();
+        let mut f = finding(CrashKind::StackOverflow, PatternId::P1_1, FunctionCategory::Math);
+        f.fault_id = "logic-multiform-tostring".into();
+        f.kind = FindingKind::Logic(LogicBug {
+            oracle: OracleKind::MultiForm,
+            expected: "rows: 42".into(),
+            actual: "rows: 42.0".into(),
+        });
+        r.findings.push(f);
+        assert_eq!(r.crash_count(), 3);
+        assert_eq!(r.logic_count(), 1);
+        // by_kind only counts crashes; the logic finding shows up in the
+        // rendered table under its own LOGIC label.
+        assert_eq!(r.by_kind().iter().map(|(_, n)| n).sum::<usize>(), 3);
+        assert!(render_table4(&[r]).contains("LOGIC(1)"));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 
 use crate::docs;
 use crate::profile::DialectId;
-use soft_engine::fault::{FaultSite, FaultSpec, PatternId, ProvPred, Trigger, ValuePred};
+use soft_engine::fault::{
+    FaultSite, FaultSpec, LogicQuirkSpec, PatternId, ProvPred, QuirkEffect, Trigger, ValuePred,
+};
 use soft_engine::registry::FunctionRegistry;
 use soft_engine::{CrashKind, Stage};
 use soft_types::category::FunctionCategory as C;
@@ -801,6 +803,31 @@ pub fn build_corpus(id: DialectId, registry: &FunctionRegistry) -> Vec<CorpusFau
         }
     }
     out
+}
+
+/// The wrong-result quirk corpus for a dialect: injected logic bugs that
+/// silently corrupt a function's return value instead of crashing. The
+/// triggers are deliberately ultra-narrow (one literal argument value) so
+/// the crash-path corpus, seeds, and coverage surfaces are untouched — the
+/// quirks exist for the campaign's logic-bug oracles to catch, and for the
+/// oracle goldens to pin.
+pub fn logic_quirks(id: DialectId) -> Vec<LogicQuirkSpec> {
+    match id {
+        DialectId::Clickhouse => vec![LogicQuirkSpec {
+            id: "clickhouse-logic-tostring-1".into(),
+            function: "tostring".into(),
+            trigger: Trigger::And(vec![
+                Trigger::ArgCount(1),
+                Trigger::Arg { index: Some(0), pred: ValuePred::IntEquals(42) },
+                Trigger::ArgProv { index: Some(0), pred: ProvPred::IsLiteral },
+            ]),
+            effect: QuirkEffect::TextSuffix(".0".into()),
+            description: "toString renders an integer literal with a spurious \
+                          decimal suffix"
+                .into(),
+        }],
+        _ => vec![],
+    }
 }
 
 /// Builds a witness statement: the function's doc example with its first

@@ -8,7 +8,7 @@
 use crate::docs::{self, DocFunction};
 use crate::faults::{self, CorpusFault};
 use crate::seeds;
-use soft_engine::fault::FaultSet;
+use soft_engine::fault::{FaultSet, LogicQuirkSpec};
 use soft_engine::registry::{FunctionRegistry, Limits};
 use soft_engine::{Engine, EngineConfig};
 use soft_types::cast::CastStrictness;
@@ -102,6 +102,9 @@ pub struct DialectProfile {
     pub seed_corpus: Vec<String>,
     /// The Table-4 fault corpus (with witnesses).
     pub faults: Vec<CorpusFault>,
+    /// The wrong-result quirk corpus (injected logic bugs; see
+    /// [`faults::logic_quirks`]).
+    pub logic_quirks: Vec<LogicQuirkSpec>,
 }
 
 impl DialectProfile {
@@ -111,6 +114,7 @@ impl DialectProfile {
         let documentation = docs::documentation(&registry);
         let seed_corpus = seeds::seed_corpus(id);
         let faults = faults::build_corpus(id, &registry);
+        let logic_quirks = faults::logic_quirks(id);
         let config = EngineConfig {
             name: id.name().to_string(),
             strictness: match id {
@@ -119,7 +123,15 @@ impl DialectProfile {
             },
             limits: Limits::default(),
         };
-        DialectProfile { id, config, registry, documentation, seed_corpus, faults }
+        DialectProfile {
+            id,
+            config,
+            registry,
+            documentation,
+            seed_corpus,
+            faults,
+            logic_quirks,
+        }
     }
 
     /// Builds all seven profiles.
@@ -127,15 +139,18 @@ impl DialectProfile {
         DialectId::ALL.into_iter().map(DialectProfile::build).collect()
     }
 
-    /// Creates a fresh engine instance for this target, faults armed.
+    /// Creates a fresh engine instance for this target, faults and
+    /// wrong-result quirks armed.
     pub fn engine(&self) -> Engine {
-        let faults =
-            FaultSet::new(self.faults.iter().map(|f| f.spec.clone()).collect());
+        let faults = FaultSet::with_quirks(
+            self.faults.iter().map(|f| f.spec.clone()).collect(),
+            self.logic_quirks.clone(),
+        );
         Engine::new(self.config.clone(), self.registry.clone(), faults)
     }
 
-    /// Creates a fault-free engine (the "fixed" build), for differential
-    /// checks.
+    /// Creates a fault-free engine (the "fixed" build — no crashes, no
+    /// wrong-result quirks), for differential checks.
     pub fn engine_without_faults(&self) -> Engine {
         Engine::new(self.config.clone(), self.registry.clone(), FaultSet::default())
     }

@@ -1194,6 +1194,13 @@ impl<'e> Exec<'e> {
             _ => self.coverage.record_function(called),
         }
         let value = result?;
+        // Wrong-result quirks corrupt the return value *after* the real
+        // implementation ran — the crash plane above is untouched, and the
+        // logic-bug oracles are what notice the corruption.
+        let value = match self.faults.check_quirk(canonical, args) {
+            Some(quirk) => quirk.apply(value),
+            None => value,
+        };
         Ok(Evaluated {
             value,
             provenance: Provenance::FunctionReturn { name: canonical.to_string() },

@@ -120,6 +120,8 @@ pub enum ValuePred {
     IsZero,
     /// Integer with magnitude at least this large.
     IntAbsAtLeast(u64),
+    /// Integer exactly equal to this value.
+    IntEquals(i64),
     /// Text that looks like structured data (JSON/XML/WKT/date/address).
     StructuredText,
     /// Any of the inner predicates.
@@ -189,6 +191,7 @@ impl ValuePred {
                 Value::Float(f) => f.abs() >= *n as f64,
                 _ => false,
             },
+            ValuePred::IntEquals(n) => matches!(v, Value::Integer(i) if i == n),
             ValuePred::StructuredText => {
                 matches!(v, Value::Text(s) if boundary::looks_structured(s))
             }
@@ -345,6 +348,56 @@ impl FaultSpec {
     }
 }
 
+/// How a logic quirk corrupts a function's return value.
+///
+/// Quirks are the wrong-*result* analogue of [`FaultSpec`]s: instead of
+/// crashing the engine, a matching quirk silently alters the value a
+/// function returns — the bug class the campaign's logic-bug oracles
+/// (multi-form execution, PQS pivot, cross-dialect differential) exist to
+/// catch. Effects must be deterministic pure functions of the input value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QuirkEffect {
+    /// The function returns SQL NULL instead of its real result.
+    NullResult,
+    /// The function's result, rendered to text, gains this suffix (text
+    /// results are mutated in place; other types are re-rendered as text).
+    TextSuffix(String),
+}
+
+/// One injected wrong-result bug: a predicate over a function call's
+/// arguments plus the corruption applied to the return value when it
+/// matches. Like [`FaultSpec`]s, quirks are *data* — the corpus lives in
+/// `soft-dialects`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogicQuirkSpec {
+    /// Stable identifier, e.g. `clickhouse-logic-tostring-1`.
+    pub id: String,
+    /// Canonical (lowercase) name of the function the quirk sits in.
+    pub function: String,
+    /// Trigger condition over the call's evaluated arguments.
+    pub trigger: Trigger,
+    /// The corruption applied to the return value.
+    pub effect: QuirkEffect,
+    /// Short description.
+    pub description: String,
+}
+
+impl LogicQuirkSpec {
+    /// Applies the quirk's effect to a function's return value.
+    pub fn apply(&self, value: Value) -> Value {
+        match &self.effect {
+            QuirkEffect::NullResult => Value::Null,
+            QuirkEffect::TextSuffix(suffix) => match value {
+                Value::Text(mut s) => {
+                    s.push_str(suffix);
+                    Value::Text(s)
+                }
+                other => Value::Text(format!("{}{}", other.render(), suffix)),
+            },
+        }
+    }
+}
+
 /// The set of faults active in an engine instance, indexed for the two
 /// fault sites checked on hot paths.
 #[derive(Debug, Clone, Default)]
@@ -354,11 +407,18 @@ pub struct FaultSet {
     /// the per-call check is one map lookup (usually a miss) instead of a
     /// scan over every spec.
     by_function: std::collections::HashMap<String, Vec<u32>>,
+    /// Wrong-result quirks, checked on the scalar-function return path.
+    quirks: Vec<LogicQuirkSpec>,
 }
 
 impl FaultSet {
     /// Builds a fault set.
     pub fn new(specs: Vec<FaultSpec>) -> FaultSet {
+        FaultSet::with_quirks(specs, Vec::new())
+    }
+
+    /// Builds a fault set with wrong-result quirks attached.
+    pub fn with_quirks(specs: Vec<FaultSpec>, quirks: Vec<LogicQuirkSpec>) -> FaultSet {
         let mut by_function: std::collections::HashMap<String, Vec<u32>> =
             std::collections::HashMap::new();
         for (i, s) in specs.iter().enumerate() {
@@ -366,7 +426,7 @@ impl FaultSet {
                 by_function.entry(f.clone()).or_default().push(i as u32);
             }
         }
-        FaultSet { specs, by_function }
+        FaultSet { specs, by_function, quirks }
     }
 
     /// All specs.
@@ -389,6 +449,21 @@ impl FaultSet {
     pub fn check_function(&self, name: &str, args: &[Evaluated]) -> Option<&FaultSpec> {
         let candidates = self.by_function.get(name)?;
         candidates.iter().map(|&i| &self.specs[i as usize]).find(|s| s.trigger.matches(args))
+    }
+
+    /// All wrong-result quirks.
+    pub fn quirks(&self) -> &[LogicQuirkSpec] {
+        &self.quirks
+    }
+
+    /// Checks wrong-result quirks for a scalar call's return path; returns
+    /// the first match in corpus order. `name` is the canonical function
+    /// name, exactly as passed to [`FaultSet::check_function`].
+    pub fn check_quirk(&self, name: &str, args: &[Evaluated]) -> Option<&LogicQuirkSpec> {
+        if self.quirks.is_empty() {
+            return None;
+        }
+        self.quirks.iter().find(|q| q.function == name && q.trigger.matches(args))
     }
 
     /// Checks cast-site faults; `value` is the *pre-cast* operand.
@@ -486,6 +561,38 @@ mod tests {
         assert!(set.check_function("avg", &[lit(Value::Decimal(big.clone()))]).is_some());
         assert!(set.check_function("sum", &[lit(Value::Decimal(big))]).is_none());
         assert!(set.check_function("avg", &[lit(Value::Integer(1))]).is_none());
+    }
+
+    #[test]
+    fn quirk_lookup_and_effects() {
+        let quirk = LogicQuirkSpec {
+            id: "test-quirk".into(),
+            function: "tostring".into(),
+            trigger: Trigger::And(vec![
+                Trigger::ArgCount(1),
+                Trigger::Arg { index: Some(0), pred: ValuePred::IntEquals(42) },
+            ]),
+            effect: QuirkEffect::TextSuffix(".0".into()),
+            description: "wrong text rendering".into(),
+        };
+        let set = FaultSet::with_quirks(Vec::new(), vec![quirk]);
+        assert_eq!(set.quirks().len(), 1);
+        let hit = set.check_quirk("tostring", &[lit(Value::Integer(42))]);
+        assert!(hit.is_some());
+        assert_eq!(
+            hit.unwrap().apply(Value::Text("42".into())),
+            Value::Text("42.0".into())
+        );
+        assert!(set.check_quirk("tostring", &[lit(Value::Integer(41))]).is_none());
+        assert!(set.check_quirk("upper", &[lit(Value::Integer(42))]).is_none());
+        let null_quirk = LogicQuirkSpec {
+            id: "test-null".into(),
+            function: "abs".into(),
+            trigger: Trigger::Always,
+            effect: QuirkEffect::NullResult,
+            description: "always null".into(),
+        };
+        assert_eq!(null_quirk.apply(Value::Integer(7)), Value::Null);
     }
 
     #[test]

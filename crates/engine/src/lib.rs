@@ -38,7 +38,10 @@ pub use coverage::Coverage;
 pub use engine::{Engine, EngineConfig, Prepared};
 pub use error::{CrashKind, CrashReport, ExecOutcome, ResultSet, SqlError, Stage};
 pub use eval::{Evaluated, Provenance};
-pub use fault::{FaultSet, FaultSite, FaultSpec, PatternId, ProvPred, Trigger, ValuePred};
+pub use fault::{
+    FaultSet, FaultSite, FaultSpec, LogicQuirkSpec, PatternId, ProvPred, QuirkEffect, Trigger,
+    ValuePred,
+};
 pub use registry::{FunctionDef, FunctionRegistry, Limits};
 
 // Thread-safety audit for the sharded campaign runner: every worker owns a

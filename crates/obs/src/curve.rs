@@ -43,12 +43,13 @@ pub struct GrowthCurves {
 impl GrowthCurves {
     /// Derives the unique-bug series from a globally ordered event stream
     /// (first occurrence of each fault id wins — the same dedup rule the
-    /// campaign's finding merge applies).
+    /// campaign's finding merge applies). Crash and logic-bug faults both
+    /// step the series: a wrong-result finding is a unique bug too.
     pub fn bugs_from_events(events: &[StatementEvent]) -> Vec<BugPoint> {
         let mut seen: HashSet<&str> = HashSet::new();
         let mut out = Vec::new();
         for e in events {
-            if e.outcome != OutcomeClass::Crash {
+            if !matches!(e.outcome, OutcomeClass::Crash | OutcomeClass::LogicBug) {
                 continue;
             }
             let Some(fault) = e.fault_id.as_deref() else { continue };

@@ -3,10 +3,12 @@
 use soft_engine::{ExecOutcome, PatternId, SqlError};
 use std::sync::Arc;
 
-/// What executing one statement produced, collapsed to the four classes the
+/// What executing one statement produced, collapsed to the five classes the
 /// campaign distinguishes (result rows and non-query successes are both
 /// "ok"; resource-limit kills are the paper's false-positive class and get
-/// their own bucket so yield tables can report them).
+/// their own bucket so yield tables can report them; logic bugs are
+/// wrong-result verdicts raised by the campaign's oracles, never by the
+/// engine itself — [`OutcomeClass::of`] cannot produce them).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub enum OutcomeClass {
     /// The statement executed successfully (rows or an ok message).
@@ -17,15 +19,21 @@ pub enum OutcomeClass {
     ResourceLimit,
     /// A modelled memory-safety crash.
     Crash,
+    /// A wrong-result verdict from a logic-bug oracle (the statement itself
+    /// completed without crashing). Appended after `Crash` so the numeric
+    /// discriminants of the original four classes stay stable — live
+    /// counters index arrays by `as usize`.
+    LogicBug,
 }
 
 impl OutcomeClass {
     /// Every class, in journal rendering order.
-    pub const ALL: [OutcomeClass; 4] = [
+    pub const ALL: [OutcomeClass; 5] = [
         OutcomeClass::Ok,
         OutcomeClass::Error,
         OutcomeClass::ResourceLimit,
         OutcomeClass::Crash,
+        OutcomeClass::LogicBug,
     ];
 
     /// Classifies an engine outcome.
@@ -38,13 +46,15 @@ impl OutcomeClass {
         }
     }
 
-    /// The journal label (`ok`, `error`, `resource-limit`, `crash`).
+    /// The journal label (`ok`, `error`, `resource-limit`, `crash`,
+    /// `logic-bug`).
     pub fn label(&self) -> &'static str {
         match self {
             OutcomeClass::Ok => "ok",
             OutcomeClass::Error => "error",
             OutcomeClass::ResourceLimit => "resource-limit",
             OutcomeClass::Crash => "crash",
+            OutcomeClass::LogicBug => "logic-bug",
         }
     }
 

@@ -57,6 +57,14 @@ pub struct Bundle {
     pub statements_until_found: usize,
     /// Whether the paper reports the underlying bug fixed.
     pub fixed: bool,
+    /// The oracle that raised the finding (`pivot`, `multi-form`,
+    /// `differential`) when it is a wrong-result logic bug; `None` for
+    /// crash findings.
+    pub oracle: Option<String>,
+    /// What the oracle expected (logic bugs only).
+    pub expected: Option<String>,
+    /// What the engine actually produced (logic bugs only).
+    pub actual: Option<String>,
     /// A copy-pasteable replay command line.
     pub replay: String,
     /// The minimized PoC.
@@ -91,6 +99,9 @@ impl Bundle {
             json::str_field("bucket", &self.bucket),
             json::num_field("statements_until_found", self.statements_until_found as i64),
             json::num_field("fixed", i64::from(self.fixed)),
+            opt("oracle", &self.oracle),
+            opt("expected", &self.expected),
+            opt("actual", &self.actual),
             json::str_field("replay", &self.replay),
         ];
         format!("{{{}}}\n", fields.join(", "))
@@ -149,6 +160,9 @@ impl Bundle {
             statements_until_found: usize::try_from(num_key("statements_until_found")?)
                 .map_err(|_| format!("{}: negative statement index", meta_path.display()))?,
             fixed: num_key("fixed")? != 0,
+            oracle: opt_key("oracle"),
+            expected: opt_key("expected"),
+            actual: opt_key("actual"),
             replay: str_key("replay")?,
             poc: read_sql("poc.sql")?,
             original: read_sql("original.sql")?,
@@ -232,6 +246,9 @@ mod tests {
             bucket: "clickhouse/execution/NPD/substr".into(),
             statements_until_found: 1234,
             fixed: true,
+            oracle: None,
+            expected: None,
+            actual: None,
             replay: "repro replay findings/clickhouse-string-npd-listing1-3".into(),
             poc: "SELECT substr('', 1)".into(),
             original: "SELECT substr('', 1, 99999) FROM t ORDER BY 1".into(),
@@ -282,6 +299,24 @@ mod tests {
         assert_eq!(back.function, None);
         assert_eq!(back.seed_function, None);
         assert!(!back.fixed);
+        fs::remove_dir_all(&root).expect("cleanup");
+    }
+
+    #[test]
+    fn oracle_provenance_round_trips() {
+        let root = temp_root("oracle");
+        let mut b = sample();
+        b.fault_id = "logic-multiform-tostring".into();
+        b.kind = "LOGIC".into();
+        b.oracle = Some("multi-form".into());
+        b.expected = Some("42".into());
+        b.actual = Some("42.0".into());
+        let dir = b.write(&root).expect("write");
+        let back = Bundle::read(&dir).expect("read");
+        assert_eq!(back, b);
+        assert_eq!(back.oracle.as_deref(), Some("multi-form"));
+        assert_eq!(back.expected.as_deref(), Some("42"));
+        assert_eq!(back.actual.as_deref(), Some("42.0"));
         fs::remove_dir_all(&root).expect("cleanup");
     }
 

@@ -18,17 +18,23 @@
 //! writes to the registry, so it cannot perturb the campaign.
 
 use crate::live::LiveMetrics;
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How long one request is allowed to dribble in before the connection is
-/// dropped. Prometheus scrapes send the whole request at once; anything
-/// slower is a stuck client we should not let wedge the accept loop.
+/// How long one request is allowed to dribble in before we stop waiting for
+/// more bytes and answer from what arrived. Prometheus scrapes usually send
+/// the whole request at once; anything slower is a stuck client we should
+/// not let wedge the accept loop.
 const READ_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// Upper bound on the bytes one request may occupy. A metrics scrape is a
+/// request line plus a handful of headers; anything beyond this is answered
+/// from its first line rather than buffered without limit.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
 
 /// The running exposition server. Dropping it (or calling
 /// [`MetricsServer::shutdown`]) stops the accept loop and joins the thread.
@@ -96,22 +102,54 @@ fn accept_loop(listener: TcpListener, metrics: Arc<LiveMetrics>, stop: Arc<Atomi
 /// connection — the client retries on the next scrape interval.
 fn serve_one(stream: TcpStream, metrics: &LiveMetrics) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut request_line = String::new();
-    reader.read_line(&mut request_line)?;
-    // Drain the headers so well-behaved clients see a clean close.
-    let mut header = String::new();
-    while reader.read_line(&mut header)? > 2 {
-        header.clear();
-    }
-    let (status, content_type, body) = respond(&request_line, metrics);
     let mut stream = stream;
+    let request = read_request(&mut stream)?;
+    let request_line = String::from_utf8_lossy(&request);
+    let request_line = request_line.lines().next().unwrap_or("");
+    let (status, content_type, body) = respond(request_line, metrics);
     write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     )?;
     stream.flush()
+}
+
+/// Accumulates one request's bytes, tolerating arbitrary TCP segmentation:
+/// a request line split across several writes arrives as several short
+/// `read`s, and each one appends here until the header terminator
+/// (`\r\n\r\n`, or a bare `\n\n` from hand-typed clients) shows up. Reading
+/// also stops — and the request is answered from whatever its first line
+/// says — on EOF, on the size cap, or when the read timeout expires without
+/// a terminator, so clients that half-close or never send the blank line
+/// still get their response instead of a dropped connection.
+fn read_request(stream: &mut TcpStream) -> io::Result<Vec<u8>> {
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if headers_complete(&buf) || buf.len() >= MAX_REQUEST_BYTES {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e)
+                if matches!(e.kind(), io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut) =>
+            {
+                break
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(buf)
+}
+
+/// Whether the buffered bytes contain the end-of-headers terminator.
+fn headers_complete(buf: &[u8]) -> bool {
+    buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.windows(2).any(|w| w == b"\n\n")
 }
 
 /// Maps one request line to `(status, content type, body)`. Split from the
@@ -196,6 +234,42 @@ mod tests {
             // either way no response arrives.
             true
         });
+    }
+
+    #[test]
+    fn request_split_across_tcp_segments_is_served() {
+        let metrics = Arc::new(LiveMetrics::new());
+        metrics.begin_campaign("DuckDB", 10, 1, 1);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Dribble the request in three writes with pauses in between, so the
+        // server's reads observe partial request lines.
+        for segment in ["GET /met", "rics HTTP/1.1\r\nHo", "st: test\r\n\r\n"] {
+            write!(stream, "{segment}").expect("segment");
+            stream.flush().expect("flush");
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        assert!(response.contains("soft_statements_planned 10"), "{response}");
+    }
+
+    #[test]
+    fn request_without_terminating_blank_line_is_served() {
+        let metrics = Arc::new(LiveMetrics::new());
+        metrics.begin_campaign("DuckDB", 10, 1, 1);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        // Request line only, then half-close: no headers, no blank line.
+        write!(stream, "GET /status HTTP/1.1\r\n").expect("request line");
+        stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("response");
+        assert!(response.starts_with("HTTP/1.1 200 OK"), "{response}");
+        let body = response.split_once("\r\n\r\n").expect("split").1;
+        let obj = crate::json::parse_object(body.trim()).expect("status json");
+        assert_eq!(obj["dialect"].as_str(), Some("DuckDB"));
     }
 
     #[test]

@@ -43,7 +43,7 @@ impl Journal {
         Journal { events }
     }
 
-    /// Number of distinct fault ids among crash events.
+    /// Number of distinct fault ids among crash and logic-bug events.
     pub fn unique_faults(&self) -> usize {
         let mut faults: Vec<&str> =
             self.events.iter().filter_map(|e| e.fault_id.as_deref()).collect();
@@ -53,7 +53,7 @@ impl Journal {
     }
 
     /// Outcome-class counts, in [`OutcomeClass::ALL`] order.
-    pub fn outcome_counts(&self) -> [(OutcomeClass, usize); 4] {
+    pub fn outcome_counts(&self) -> [(OutcomeClass, usize); 5] {
         OutcomeClass::ALL
             .map(|class| (class, self.events.iter().filter(|e| e.outcome == class).count()))
     }

@@ -100,6 +100,7 @@ struct PatternCell {
     crashes: AtomicU64,
     errors: AtomicU64,
     resource_limits: AtomicU64,
+    logic_bugs: AtomicU64,
 }
 
 /// One point of the live unique-bug curve.
@@ -255,6 +256,7 @@ impl LiveMetrics {
             OutcomeClass::Crash => cell.crashes.fetch_add(1, Ordering::Relaxed),
             OutcomeClass::Error => cell.errors.fetch_add(1, Ordering::Relaxed),
             OutcomeClass::ResourceLimit => cell.resource_limits.fetch_add(1, Ordering::Relaxed),
+            OutcomeClass::LogicBug => cell.logic_bugs.fetch_add(1, Ordering::Relaxed),
             OutcomeClass::Ok => 0,
         };
         beat.last_index.store(global_index as u64, Ordering::Relaxed);
@@ -317,6 +319,7 @@ impl LiveMetrics {
                     crashes: c.crashes.load(Ordering::Relaxed),
                     errors: c.errors.load(Ordering::Relaxed),
                     resource_limits: c.resource_limits.load(Ordering::Relaxed),
+                    logic_bugs: c.logic_bugs.load(Ordering::Relaxed),
                 }
             })
             .collect();
@@ -365,6 +368,8 @@ pub struct PatternSnapshot {
     pub errors: u64,
     /// Resource-limit kills.
     pub resource_limits: u64,
+    /// Wrong-result verdicts from the logic-bug oracles.
+    pub logic_bugs: u64,
 }
 
 /// Point-in-time copy of one shard heartbeat.

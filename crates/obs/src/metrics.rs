@@ -25,7 +25,10 @@ pub struct PatternYield {
     pub errors: usize,
     /// Executed statements killed by resource limits (false positives).
     pub resource_limits: usize,
-    /// Unique faults first triggered by this pattern (global dedup order).
+    /// Executed statements flagged wrong-result by a logic-bug oracle.
+    pub logic_bugs: usize,
+    /// Unique faults first triggered by this pattern (global dedup order),
+    /// crash and logic-bug faults alike.
     pub unique_bugs: usize,
 }
 
@@ -38,7 +41,9 @@ pub struct CategoryYield {
     pub crashes: usize,
     /// Executed statements that raised ordinary SQL errors.
     pub errors: usize,
-    /// Unique faults first triggered in this category.
+    /// Executed statements flagged wrong-result by a logic-bug oracle.
+    pub logic_bugs: usize,
+    /// Unique faults first triggered in this category (crash or logic-bug).
     pub unique_bugs: usize,
 }
 
@@ -70,7 +75,9 @@ impl YieldMetrics {
         }
         let mut seen_faults: HashSet<&str> = HashSet::new();
         for e in events {
-            let unique_crash = e.outcome == OutcomeClass::Crash
+            let is_bug =
+                matches!(e.outcome, OutcomeClass::Crash | OutcomeClass::LogicBug);
+            let unique_bug = is_bug
                 && e.fault_id.as_deref().is_some_and(|f| seen_faults.insert(f));
             if let Some(pattern) = e.pattern {
                 let y = out.per_pattern.entry(pattern).or_default();
@@ -79,9 +86,10 @@ impl YieldMetrics {
                     OutcomeClass::Crash => y.crashes += 1,
                     OutcomeClass::Error => y.errors += 1,
                     OutcomeClass::ResourceLimit => y.resource_limits += 1,
+                    OutcomeClass::LogicBug => y.logic_bugs += 1,
                     OutcomeClass::Ok => {}
                 }
-                if unique_crash {
+                if unique_bug {
                     y.unique_bugs += 1;
                 }
             }
@@ -91,9 +99,10 @@ impl YieldMetrics {
                 match e.outcome {
                     OutcomeClass::Crash => c.crashes += 1,
                     OutcomeClass::Error => c.errors += 1,
+                    OutcomeClass::LogicBug => c.logic_bugs += 1,
                     _ => {}
                 }
-                if unique_crash {
+                if unique_bug {
                     c.unique_bugs += 1;
                 }
             }
@@ -109,19 +118,20 @@ impl YieldMetrics {
             (b.unique_bugs, b.crashes, *pa).cmp(&(a.unique_bugs, a.crashes, *pb))
         });
         let mut out = format!(
-            "{:<8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7}\n",
-            "pattern", "generated", "executed", "crashes", "errors", "rlimit", "bugs"
+            "{:<8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7}\n",
+            "pattern", "generated", "executed", "crashes", "errors", "rlimit", "logic", "bugs"
         );
         for (p, y) in rows {
             let _ = writeln!(
                 out,
-                "{:<8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7}",
+                "{:<8} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7}",
                 p.label(),
                 y.generated,
                 y.executed,
                 y.crashes,
                 y.errors,
                 y.resource_limits,
+                y.logic_bugs,
                 y.unique_bugs
             );
         }
@@ -135,17 +145,18 @@ impl YieldMetrics {
             (b.unique_bugs, b.crashes, *ca).cmp(&(a.unique_bugs, a.crashes, *cb))
         });
         let mut out = format!(
-            "{:<12} {:>10} {:>8} {:>8} {:>7}\n",
-            "category", "executed", "crashes", "errors", "bugs"
+            "{:<12} {:>10} {:>8} {:>8} {:>7} {:>7}\n",
+            "category", "executed", "crashes", "errors", "logic", "bugs"
         );
         for (c, y) in rows {
             let _ = writeln!(
                 out,
-                "{:<12} {:>10} {:>8} {:>8} {:>7}",
+                "{:<12} {:>10} {:>8} {:>8} {:>7} {:>7}",
                 c.label(),
                 y.executed,
                 y.crashes,
                 y.errors,
+                y.logic_bugs,
                 y.unique_bugs
             );
         }
@@ -209,6 +220,22 @@ mod tests {
         assert_eq!((math.executed, math.errors), (1, 1));
         // Unresolvable functions are skipped.
         assert_eq!(m.per_category.len(), 2);
+    }
+
+    #[test]
+    fn logic_bug_events_count_toward_unique_bugs() {
+        let events = vec![
+            event(1, Some(PatternId::P1_2), "substr", OutcomeClass::LogicBug, Some("lg-1")),
+            event(2, Some(PatternId::P1_2), "substr", OutcomeClass::LogicBug, Some("lg-1")),
+            event(3, Some(PatternId::P1_2), "substr", OutcomeClass::Crash, Some("f-a")),
+        ];
+        let m = YieldMetrics::from_events(&events, &[], resolve);
+        let p12 = m.per_pattern[&PatternId::P1_2];
+        assert_eq!((p12.logic_bugs, p12.crashes, p12.unique_bugs), (2, 1, 2));
+        let string = m.per_category[&FunctionCategory::String];
+        assert_eq!((string.logic_bugs, string.unique_bugs), (2, 2));
+        let table = m.render_pattern_table();
+        assert!(table.contains("logic"), "{table}");
     }
 
     #[test]

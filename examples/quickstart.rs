@@ -35,7 +35,7 @@ fn main() {
     for f in &report.findings {
         println!(
             "[{}] {} in {} — found by {} after {} statements",
-            f.kind,
+            f.kind.abbrev(),
             f.fault_id,
             f.function.as_deref().unwrap_or("?"),
             f.found_by_pattern,

@@ -25,15 +25,15 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --offline --workspace
 echo "verify: telemetry smoke (repro campaign + repro trace round trip)"
 journal="$(mktemp -t soft-journal-XXXXXX).jsonl"
 csvdir="$(mktemp -d -t soft-csv-XXXXXX)"
-# `repro campaign` exits 3 when the campaign confirms crash findings (the
-# documented exit-code contract, see EXPERIMENTS.md) — at this budget on
-# ClickHouse that is the expected outcome, so accept 0 or 3 and fail on
-# anything else.
+# `repro campaign` exits 3 when the campaign confirms crash findings and 4
+# when it confirms wrong-result findings only (the documented exit-code
+# contract, see EXPERIMENTS.md) — at this budget on ClickHouse a crash is
+# the expected outcome, so accept 0, 3, or 4 and fail on anything else.
 status=0
 cargo run --release --offline -q -p soft-bench --bin repro -- \
     campaign clickhouse --budget 3000 --journal "$journal" > /dev/null || status=$?
-if [ "$status" -ne 0 ] && [ "$status" -ne 3 ]; then
-    echo "verify: repro campaign exited $status (expected 0 or 3)" >&2
+if [ "$status" -ne 0 ] && [ "$status" -ne 3 ] && [ "$status" -ne 4 ]; then
+    echo "verify: repro campaign exited $status (expected 0, 3, or 4)" >&2
     exit 1
 fi
 # Capture instead of piping into `grep -q`: quitting grep early would close
@@ -44,6 +44,23 @@ printf '%s\n' "$trace_out" | grep -q "^journal: ClickHouse"
 test -s "$csvdir/pattern_yields.csv"
 test -s "$csvdir/bug_curve.csv"
 rm -rf "$journal" "$csvdir"
+
+echo "verify: oracle smoke (wrong-result detection end to end)"
+oracle_journal="$(mktemp -t soft-oracle-XXXXXX).jsonl"
+# With the oracles armed, the shipped ClickHouse provenance quirk must be
+# flagged: the run exits 3 (crashes found too at this budget) or 4 (logic
+# findings only), never 0 — and the journal must carry the logic-bug row.
+status=0
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 3000 --oracles --journal "$oracle_journal" \
+    > /dev/null || status=$?
+if [ "$status" -ne 3 ] && [ "$status" -ne 4 ]; then
+    echo "verify: oracles-on campaign exited $status (expected 3 or 4)" >&2
+    exit 1
+fi
+grep -q '"outcome": "logic-bug"' "$oracle_journal"
+grep -q '"fault": "logic-multiform-tostring"' "$oracle_journal"
+rm -f "$oracle_journal"
 
 echo "verify: forensics smoke (repro bundle + repro replay round trip)"
 findings="$(mktemp -d -t soft-findings-XXXXXX)"
@@ -65,4 +82,4 @@ SOFT_BENCH_WARMUP_MS=1 SOFT_BENCH_MEASURE_MS=50 SOFT_BENCH_JSON_DIR="$benchdir" 
 test -s "$benchdir/BENCH_execute.json"
 rm -rf "$benchdir"
 
-echo "verify: OK (offline build + tests at both thread settings + docs + trace/forensics/bench smoke)"
+echo "verify: OK (offline build + tests at both thread settings + docs + trace/oracle/forensics/bench smoke)"

@@ -170,3 +170,28 @@ fn fault_free_dialects_agree_on_shared_query_results() {
         SHARED_QUERIES.len()
     );
 }
+
+/// The campaign-time differential oracle (`soft::oracle::differential_check`)
+/// stays quiet on every shipped profile with the shipped (empty) allowlist:
+/// no armed dialect's logic quirks are reachable from the shared corpus
+/// today, so `KNOWN_DIVERGENCES` can start empty. A dialect that gains a
+/// corpus-reachable quirk must either be caught by a campaign (the point) or
+/// consciously allowlisted here — never silently absorbed.
+#[test]
+fn campaign_differential_oracle_is_quiet_on_every_shipped_profile() {
+    use soft_repro::soft::oracle::{differential_check, KNOWN_DIVERGENCES};
+    assert!(
+        KNOWN_DIVERGENCES.is_empty(),
+        "the shipped allowlist grew — keep this test's claim in sync"
+    );
+    for id in DialectId::ALL {
+        let profile = DialectProfile::build(id);
+        let hits = differential_check(&profile);
+        assert!(
+            hits.is_empty(),
+            "{}: shipped profile diverges from its fault-free peers: {:?}",
+            id.name(),
+            hits.iter().map(|(fault, _, _)| fault.as_str()).collect::<Vec<_>>()
+        );
+    }
+}

@@ -47,7 +47,7 @@ fn findings_metadata_is_consistent_with_the_corpus() {
             .find(|c| c.spec.id == f.fault_id)
             .map(|c| &c.spec)
             .expect("finding refers to a corpus fault");
-        assert_eq!(f.kind, spec.kind);
+        assert_eq!(f.kind.crash(), Some(spec.kind));
         assert_eq!(f.credited_pattern, spec.pattern);
         assert_eq!(f.category, spec.category);
         assert_eq!(f.fixed, spec.fixed);

@@ -82,6 +82,50 @@ fn every_campaign_finding_bundles_and_replays() {
     std::fs::remove_dir_all(&root).expect("cleanup");
 }
 
+/// Wrong-result findings ride the same triage pipeline: an oracles-on
+/// campaign's logic findings bundle to disk with their oracle provenance
+/// (family label, expected/actual verdict), their PoCs minimize under the
+/// oracle's verdict, and `replay_all` re-judges them through the recorded
+/// oracle family alongside the crash bundles.
+#[test]
+fn logic_findings_bundle_with_oracle_provenance_and_replay() {
+    use soft_repro::soft::OracleConfig;
+
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: 3_000,
+        per_seed_cap: 4,
+        oracles: OracleConfig::on(),
+        ..CampaignConfig::default()
+    };
+    let report = run_soft(&profile, &cfg);
+    assert!(report.logic_count() > 0, "the shipped ClickHouse quirk must be flagged");
+
+    let root = temp_root("logic");
+    write_campaign_bundles(&profile, &report, &root).expect("bundles written");
+    let bundles = Bundle::read_all(&root).expect("findings root reads back");
+    assert_eq!(bundles.len(), report.findings.len());
+
+    let logic: Vec<_> = bundles.iter().filter(|b| b.kind == "LOGIC").collect();
+    assert_eq!(logic.len(), report.logic_count());
+    for bundle in &logic {
+        assert!(
+            bundle.oracle.is_some() && bundle.expected.is_some() && bundle.actual.is_some(),
+            "{}: logic bundle lost its oracle provenance",
+            bundle.fault_id
+        );
+        assert_ne!(bundle.expected, bundle.actual, "{}: vacuous verdict", bundle.fault_id);
+    }
+    // Crash bundles never grow the oracle fields.
+    for bundle in bundles.iter().filter(|b| b.kind != "LOGIC") {
+        assert!(bundle.oracle.is_none(), "{}: crash bundle grew a verdict", bundle.fault_id);
+    }
+
+    // One batch replay covers both planes.
+    assert_eq!(replay_all(&root), Ok(bundles.len()));
+    std::fs::remove_dir_all(&root).expect("cleanup");
+}
+
 /// Bundles work across dialects: a second target's findings replay too,
 /// and its bundles never collide with another dialect's directory names.
 #[test]

@@ -107,3 +107,51 @@ fn pinned_minimal_forms_are_fixpoints_of_the_reducer() {
         assert_eq!(again, g.minimal, "{} is not a reducer fixpoint", g.fault_id);
     }
 }
+
+#[test]
+fn pinned_minimal_forms_survive_the_rendered_round_trip() {
+    // The reducer accepts a candidate only after its *rendering* re-enters
+    // the string path and crashes identically — the shipped PoC is text, and
+    // `repro replay` re-parses it. Pin that contract on the goldens: each
+    // minimal form re-parses to an AST that renders back to the exact same
+    // bytes, and that rendering still fires the recorded fault.
+    for g in GOLDENS {
+        let profile = DialectProfile::build(g.dialect);
+        let stmt = soft_repro::parser::parse_statement(g.minimal).expect("minimal form parses");
+        let rendered = stmt.to_string();
+        assert_eq!(
+            rendered, g.minimal,
+            "{}: rendering drifted from the pinned text — the reducer's \
+             AST-only fast path would have shipped a different statement",
+            g.fault_id
+        );
+        match prepared_engine(&profile).execute(&rendered) {
+            ExecOutcome::Crash(c) => assert_eq!(c.fault_id, g.fault_id),
+            other => panic!("round-tripped `{rendered}` no longer crashes: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn logic_poc_minimizes_to_its_pinned_form() {
+    // The wrong-result plane gets the same golden treatment: the shipped
+    // ClickHouse provenance quirk, buried in campaign-style noise, reduces
+    // to a pinned one-liner that still trips the multi-form oracle.
+    use soft_repro::soft::minimize::minimize_logic;
+    use soft_repro::soft::oracle::multi_form_check;
+
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let recorded = "SELECT toString(42), UPPER('decoy-column'), 1234567890 LIMIT 99";
+    let minimized = minimize_logic(recorded, || prepared_engine(&profile));
+    assert_eq!(
+        minimized, "SELECT toString(42)",
+        "logic reducer output drifted — if the new form is intentional, re-pin it"
+    );
+    let stmt = soft_repro::parser::parse_statement(&minimized).expect("parses");
+    assert!(
+        multi_form_check(&prepared_engine(&profile), &minimized, &stmt).is_some(),
+        "pinned logic PoC no longer trips the oracle"
+    );
+    // And it is a fixpoint, like the crash goldens.
+    assert_eq!(minimize_logic(&minimized, || prepared_engine(&profile)), minimized);
+}

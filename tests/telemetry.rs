@@ -223,7 +223,7 @@ fn trace_csv_export_is_golden() {
     let mut lines = patterns.lines();
     assert_eq!(
         lines.next(),
-        Some("pattern,generated,executed,crashes,errors,resource_limits,unique_bugs")
+        Some("pattern,generated,executed,crashes,errors,resource_limits,logic_bugs,unique_bugs")
     );
     let rows: Vec<&str> = lines.collect();
     assert_eq!(rows.len(), telemetry.yields.per_pattern.len());
@@ -236,7 +236,7 @@ fn trace_csv_export_is_golden() {
 
     // category_yields resolves (the header names DuckDB).
     let categories = by_name("category_yields.csv");
-    assert!(categories.starts_with("category,executed,crashes,errors,unique_bugs\n"));
+    assert!(categories.starts_with("category,executed,crashes,errors,logic_bugs,unique_bugs\n"));
     assert_eq!(categories.lines().count(), telemetry.yields.per_category.len() + 1);
 
     // Curves: one row per point, matching the telemetry surfaces exactly.
@@ -272,4 +272,68 @@ fn trace_csv_export_is_golden() {
         assert_eq!(&std::fs::read_to_string(path).expect("readable"), contents);
     }
     std::fs::remove_dir_all(&dir).expect("cleanup");
+}
+
+/// RFC 4180 hardening (`repro trace --csv`): a field carrying a bare
+/// carriage return must be quoted exactly like one carrying a line feed —
+/// an unquoted CR splits the record in most readers. Pinned byte for byte
+/// on a synthetic journal whose fault id packs every metacharacter.
+#[test]
+fn csv_export_quotes_adversarial_fields() {
+    use soft_repro::obs::{OutcomeClass, StatementEvent, TraceFile};
+
+    let hostile = "npd\rupper,\"arg\"\nboundary";
+    let mut trace = TraceFile::default();
+    trace.journal.events.push(StatementEvent {
+        index: 1,
+        shard: 0,
+        seed: Some(0),
+        pattern: None,
+        function: Some("upper".into()),
+        outcome: OutcomeClass::Crash,
+        fault_id: Some(hostile.into()),
+    });
+
+    let files = soft_bench::trace_csv_exports(&trace);
+    let bugs = &files.iter().find(|(n, _)| *n == "bug_curve.csv").expect("bug curve").1;
+    let expected = format!(
+        "statements,unique_bugs,fault_id\n1,1,\"{}\"\n",
+        hostile.replace('"', "\"\"")
+    );
+    assert_eq!(bugs, &expected, "CR/comma/quote/LF must all force a quoted field");
+    // Three physical LFs in total: the header terminator, the embedded LF
+    // (kept inside the quotes), and the row terminator. The CR never gains
+    // an unquoted sibling.
+    assert_eq!(bugs.matches('\n').count(), 3);
+}
+
+/// The wrong-result oracles preserve telemetry determinism end to end: with
+/// `--oracles` armed the whole report — journal (including the synthetic
+/// trailing oracle shard), yields, curves — is byte-identical at every
+/// worker count, and the offline CSV export carries the logic findings.
+#[test]
+fn oracle_telemetry_is_byte_identical_across_worker_counts() {
+    use soft_repro::soft::OracleConfig;
+
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        oracles: OracleConfig::on(),
+        ..telemetry_config(3_000)
+    };
+    let serial = run_soft_parallel(&profile, &cfg, 1);
+    assert!(serial.logic_count() > 0, "the shipped ClickHouse quirk must be flagged");
+    for workers in [2usize, 4, 7] {
+        let parallel = run_soft_parallel(&profile, &cfg, workers);
+        assert_eq!(serial, parallel, "oracle telemetry diverged at {workers} workers");
+    }
+
+    // The journal records the logic plane and the offline analyzer sees it.
+    let telemetry = serial.telemetry.as_ref().expect("telemetry was on");
+    let trace = telemetry.to_trace(Some(DialectId::Clickhouse.name()), serial.statements_executed);
+    let files = soft_bench::trace_csv_exports(&trace);
+    let bugs = &files.iter().find(|(n, _)| *n == "bug_curve.csv").expect("bug curve").1;
+    assert!(
+        bugs.lines().skip(1).any(|r| r.split(',').nth(2).is_some_and(|f| f.starts_with("logic-"))),
+        "the bug growth curve must carry the logic findings: {bugs}"
+    );
 }
