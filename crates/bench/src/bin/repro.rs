@@ -5,11 +5,13 @@
 //! table5 table6 bugs24h cases all`, plus the campaign/triage commands:
 //!
 //! * `repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]
-//!   [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles]` runs
-//!   one telemetry-on campaign, optionally exposing live Prometheus metrics
-//!   over HTTP, ticking a TTY progress line, writing the JSONL event
-//!   journal, emitting crash-forensics bundles, and (with `--oracles`)
-//!   arming the wrong-result oracles — multi-form, pivot, differential;
+//!   [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles]
+//!   [--no-batch]` runs one telemetry-on campaign, optionally exposing live
+//!   Prometheus metrics over HTTP, ticking a TTY progress line, writing the
+//!   JSONL event journal, emitting crash-forensics bundles, (with
+//!   `--oracles`) arming the wrong-result oracles — multi-form, pivot,
+//!   differential — and (with `--no-batch`) falling back from columnar
+//!   batch execution to the scalar prepared path;
 //! * `repro trace <journal.jsonl> [--csv DIR]` analyzes a journal offline:
 //!   outcome classes, top-yield pattern/category tables, the §7.5-style
 //!   growth curves — and, with `--csv`, the same data as CSV files;
@@ -108,7 +110,7 @@ fn campaign(args: &[String], budget: usize) {
     let Some(id) = args.get(1).and_then(|n| dialect_by_name(n)) else {
         eprintln!(
             "usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH] \
-             [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles]"
+             [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles] [--no-batch]"
         );
         eprintln!(
             "dialects: {}",
@@ -124,6 +126,7 @@ fn campaign(args: &[String], budget: usize) {
     let progress = args.iter().any(|a| a == "--progress");
     let findings_dir = flag_value(args, "--findings").map(std::path::PathBuf::from);
     let oracles = args.iter().any(|a| a == "--oracles");
+    let no_batch = args.iter().any(|a| a == "--no-batch");
     hr(&format!("Telemetry campaign — {}", id.name()));
     let snapshot_interval = (budget / 20).clamp(100, 10_000);
     let cfg = CampaignConfig {
@@ -134,6 +137,7 @@ fn campaign(args: &[String], budget: usize) {
             journal_path: journal_path.clone(),
         }),
         oracles: if oracles { OracleConfig::on() } else { OracleConfig::Off },
+        batch: !no_batch,
         ..CampaignConfig::default()
     };
     let profile = DialectProfile::build(id);

@@ -130,6 +130,92 @@ impl Bench {
         self.samples.last().expect("just pushed")
     }
 
+    /// Measures two closures as one drift-robust pair.
+    ///
+    /// Timed batches of the two sides *alternate* inside a single
+    /// measurement window, so slow environment drift — thermal throttling,
+    /// a noisy neighbour, frequency scaling settling under sustained load —
+    /// hits both sides equally and their throughput *ratio* stays
+    /// meaningful. Two sequential [`Bench::bench_items`] calls do not have
+    /// that property: a few percent of monotone drift between the windows
+    /// reads as a few percent of fake speedup (or slowdown), which is
+    /// exactly the magnitude a regression gate cares about.
+    ///
+    /// Each side declares its label and items per iteration, like
+    /// [`Bench::bench_items`]. Records one [`Sample`] per side (in argument
+    /// order) and returns them as a pair.
+    pub fn bench_pair<RA, RB>(
+        &mut self,
+        a: (&str, u64, &mut dyn FnMut() -> RA),
+        b: (&str, u64, &mut dyn FnMut() -> RB),
+    ) -> (&Sample, &Sample) {
+        let (label_a, items_a, fa) = a;
+        let (label_b, items_b, fb) = b;
+        // Warm both sides alternately; the estimates size each side's batch
+        // to ~200µs, as in `bench`.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        let mut spent_a = Duration::ZERO;
+        let mut spent_b = Duration::ZERO;
+        while warm_start.elapsed() < self.warmup || warm_iters == 0 {
+            let t = Instant::now();
+            black_box(fa());
+            spent_a += t.elapsed();
+            let t = Instant::now();
+            black_box(fb());
+            spent_b += t.elapsed();
+            warm_iters += 1;
+            if warm_iters >= 500_000 {
+                break;
+            }
+        }
+        let est_a = (spent_a.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let est_b = (spent_b.as_nanos() as f64 / warm_iters as f64).max(1.0);
+        let batch_a = ((200_000.0 / est_a).ceil() as u64).clamp(1, 1_000_000);
+        let batch_b = ((200_000.0 / est_b).ceil() as u64).clamp(1, 1_000_000);
+        let mut per_iter_a: Vec<f64> = Vec::new();
+        let mut per_iter_b: Vec<f64> = Vec::new();
+        let mut iters_a = 0u64;
+        let mut iters_b = 0u64;
+        // The pair shares one window of twice the single-arm budget.
+        let run_start = Instant::now();
+        while run_start.elapsed() < self.measure * 2 || per_iter_a.len() < 20 {
+            let t = Instant::now();
+            for _ in 0..batch_a {
+                black_box(fa());
+            }
+            per_iter_a.push(t.elapsed().as_nanos() as f64 / batch_a as f64);
+            iters_a += batch_a;
+            let t = Instant::now();
+            for _ in 0..batch_b {
+                black_box(fb());
+            }
+            per_iter_b.push(t.elapsed().as_nanos() as f64 / batch_b as f64);
+            iters_b += batch_b;
+            if per_iter_a.len() >= 5_000 {
+                break;
+            }
+        }
+        let mut finish = |label: &str, per_iter: Vec<f64>, iters: u64, items: u64| {
+            let mut v = per_iter;
+            v.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+            let n = v.len();
+            self.samples.push(Sample {
+                label: label.to_string(),
+                iters,
+                min_ns: v[0],
+                mean_ns: v.iter().sum::<f64>() / n as f64,
+                median_ns: v[n / 2],
+                p95_ns: v[(n * 95 / 100).min(n - 1)],
+                items_per_iter: Some(items as f64),
+            });
+        };
+        finish(label_a, per_iter_a, iters_a, items_a);
+        finish(label_b, per_iter_b, iters_b, items_b);
+        let n = self.samples.len();
+        (&self.samples[n - 2], &self.samples[n - 1])
+    }
+
     /// The samples recorded so far.
     pub fn samples(&self) -> &[Sample] {
         &self.samples

@@ -56,7 +56,8 @@ use crate::patterns::{self, GenCtx, GeneratedCase};
 use crate::report::{BugFinding, CampaignReport, FindingKind, ShardStats};
 use soft_dialects::DialectProfile;
 use soft_engine::{
-    Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, SqlError, Stage,
+    BatchArena, Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, ShapeKey,
+    SqlError, Stage, MIN_BATCH_GROUP,
 };
 use soft_obs::{
     LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig,
@@ -103,6 +104,14 @@ pub struct CampaignConfig {
     /// are pure functions of the prepared template and the statement, so the
     /// worker-count-invariance guarantee holds with oracles on.
     pub oracles: OracleConfig,
+    /// Columnar batch execution (default on). When on, each shard groups
+    /// same-shape prepared statements and evaluates every group as one
+    /// columnar batch ([`soft_engine::Engine::execute_batch_in`]), then
+    /// demultiplexes the per-row outcomes through the exact serial
+    /// classification loop. Batching is a pure execution strategy: the
+    /// report is byte-identical with it on or off, at any worker count —
+    /// only statements/sec changes.
+    pub batch: bool,
 }
 
 impl Default for CampaignConfig {
@@ -115,6 +124,7 @@ impl Default for CampaignConfig {
             shard_statements: 256,
             telemetry: TelemetryConfig::Off,
             oracles: OracleConfig::Off,
+            batch: true,
         }
     }
 }
@@ -168,6 +178,12 @@ struct Plan {
     /// by [`Plan::prepare`]; this is the campaign's single parse of each
     /// statement.
     prepared: Vec<Result<Prepared, SqlError>>,
+    /// The structural shape of each prepared statement, aligned with
+    /// `cases`: `Some(key)` when the statement is batchable (see
+    /// [`soft_engine::Engine::shape_key`]), `None` when it must take the
+    /// scalar path. Filled by [`Plan::prepare`] so the shards only group,
+    /// never re-analyse.
+    shapes: Vec<Option<ShapeKey>>,
     generated_per_pattern: Vec<(PatternId, usize)>,
     /// Root function of each seed statement (the first collected function
     /// expression), indexed by seed id — the journal's "target function"
@@ -188,15 +204,22 @@ impl Plan {
     /// here keeps the parse histogram deterministic in sample count.
     fn prepare(&mut self, template: &Engine, timed: bool) {
         self.prepared.reserve_exact(self.cases.len());
+        self.shapes.reserve_exact(self.cases.len());
         if timed {
             self.prepare_latency.reserve_exact(self.cases.len());
         }
         for case in &self.cases {
             let t = timed.then(Instant::now);
-            self.prepared.push(template.prepare(&case.sql));
+            let prepared = template.prepare(&case.sql);
             if let Some(t) = t {
                 self.prepare_latency.push(t.elapsed());
             }
+            // Shape analysis is part of planning, not execution: it is a
+            // pure function of (registry, AST), so computing it against the
+            // template here keeps the shards' grouping deterministic and
+            // out of the hot loop.
+            self.shapes.push(prepared.as_ref().ok().and_then(|p| template.shape_key(p)));
+            self.prepared.push(prepared);
         }
     }
 }
@@ -411,6 +434,7 @@ pub fn run_soft_parallel_live(
                     telemetry_opts,
                     oracle_opts,
                     live_metrics,
+                    config.batch,
                 ));
             }
         } else {
@@ -429,6 +453,7 @@ pub fn run_soft_parallel_live(
                             telemetry_opts,
                             oracle_opts,
                             live_metrics,
+                            config.batch,
                         );
                         done.lock().expect("shard results poisoned").push(outcome);
                     })
@@ -690,6 +715,7 @@ fn build_plan(
     Plan {
         cases: plan,
         prepared: Vec::new(),
+        shapes: Vec::new(),
         generated_per_pattern,
         seed_functions,
         generate_latency,
@@ -874,9 +900,75 @@ impl<'a> ShardObserver<'a> {
     }
 }
 
+/// Batch-executes the shape groups of one window of a shard, storing each
+/// statement's precomputed `(outcome, amortized duration)` into `pre`.
+///
+/// Grouping is deterministic: shapes are visited in first-appearance order
+/// and members stay in statement order, so the demux below replays the
+/// exact serial classification. Groups smaller than
+/// [`soft_engine::MIN_BATCH_GROUP`] are left to the scalar path — plan
+/// compilation is a fixed cost that a couple of rows cannot amortize.
+/// Statements the kernel
+/// declines (`execute_batch_in` returning `None`) also fall back to the
+/// scalar path, with no side effects to undo.
+///
+/// Correctness of executing a whole window up front: batchable statements
+/// (no FROM, no subqueries, no volatile functions) read neither the catalog
+/// nor mutable session state, so a mid-window crash-restore cannot change
+/// any other member's outcome, and coverage — a monotone set union — is
+/// identical at the window boundary whatever the intra-window execution
+/// order. Windows end exactly at telemetry snapshot indices, so every
+/// coverage snapshot observes the same set a serial walk would.
+fn batch_window(
+    engine: &mut Engine,
+    prepared: &[Result<Prepared, SqlError>],
+    shapes: &[Option<ShapeKey>],
+    window: std::ops::Range<usize>,
+    pre: &mut [Option<(ExecOutcome, Duration)>],
+    arena: &mut BatchArena,
+) {
+    let mut order: Vec<ShapeKey> = Vec::new();
+    let mut groups: HashMap<ShapeKey, Vec<usize>> = HashMap::new();
+    for i in window {
+        let Some(key) = shapes[i] else { continue };
+        if prepared[i].is_err() {
+            continue;
+        }
+        let members = groups.entry(key).or_default();
+        if members.is_empty() {
+            order.push(key);
+        }
+        members.push(i);
+    }
+    let mut members: Vec<&Prepared> = Vec::new();
+    for key in order {
+        let idxs = &groups[&key];
+        if idxs.len() < MIN_BATCH_GROUP {
+            continue;
+        }
+        members.clear();
+        members.extend(
+            idxs.iter().map(|&i| prepared[i].as_ref().expect("grouped statements prepared")),
+        );
+        let t = Instant::now();
+        let Some(outcomes) = engine.execute_batch_in(&members, arena) else { continue };
+        let per_statement = t.elapsed() / idxs.len() as u32;
+        for (&i, outcome) in idxs.iter().zip(outcomes) {
+            pre[i] = Some((outcome, per_statement));
+        }
+    }
+}
+
 /// Executes one shard of the planned (and prepared) stream on a private
 /// engine cloned from the template. Pure function of (profile, template,
 /// shard range): no state is shared with other shards.
+///
+/// With `batch` on, the shard executes window by window: each window's
+/// same-shape groups are evaluated as columnar batches up front
+/// ([`batch_window`]), and the serial loop below then *demultiplexes* the
+/// precomputed outcomes — every per-statement observation (telemetry event,
+/// live counter, oracle check, finding, crash restore) happens at exactly
+/// the point, in exactly the order, the scalar path performs it.
 fn run_shard(
     profile: &DialectProfile,
     fault_index: &FaultIndex<'_>,
@@ -887,12 +979,25 @@ fn run_shard(
     telemetry: Option<&TelemetryOptions>,
     oracles: Option<&OracleOptions>,
     live: Option<&LiveMetrics>,
+    batch: bool,
 ) -> ShardOutcome {
     let t0 = Instant::now();
     let start_offset = range.start;
     let cases = &plan.cases[range.clone()];
-    let prepared = &plan.prepared[range];
+    let prepared = &plan.prepared[range.clone()];
+    let shapes = &plan.shapes[range];
     let mut engine = template.clone();
+    // The batch plane: per-statement precomputed outcomes, one reusable
+    // column arena for the whole shard, and the window cursor. Windows end
+    // at coverage-snapshot indices (one window per shard when telemetry is
+    // off) so snapshots observe exactly the serial coverage set.
+    let mut arena = BatchArena::new();
+    let mut pre: Vec<Option<(ExecOutcome, Duration)>> = Vec::new();
+    if batch {
+        pre.resize_with(cases.len(), || None);
+    }
+    let snapshot_interval = telemetry.map(|opts| opts.snapshot_interval.max(1));
+    let mut window_end = 0usize;
     let mut found: HashSet<String> = HashSet::new();
     let mut findings: Vec<BugFinding> = Vec::new();
     let mut observer = telemetry
@@ -908,21 +1013,51 @@ fn run_shard(
     let mut errors = 0usize;
     let mut logic_bugs = 0usize;
     for (i, case) in cases.iter().enumerate() {
-        let outcome = match &mut observer {
-            Some(obs) => obs.execute_timed(&mut engine, &prepared[i]),
-            None => execute_planned(&mut engine, &prepared[i]),
+        if batch && i >= window_end {
+            // Entering the next window: its end is the next global snapshot
+            // index (or the shard end), and its shape groups batch-execute
+            // now, against exactly the engine state a serial walk has at
+            // this point.
+            window_end = match snapshot_interval {
+                Some(iv) => (((start_offset + i) / iv + 1) * iv - start_offset).min(cases.len()),
+                None => cases.len(),
+            };
+            batch_window(&mut engine, prepared, shapes, i..window_end, &mut pre, &mut arena);
+        }
+        let batched = pre.get_mut(i).and_then(Option::take);
+        let from_batch = batched.is_some();
+        let outcome = match batched {
+            Some((outcome, spent)) => {
+                // The execute histogram keeps one sample per statement:
+                // batched statements record their amortized share of the
+                // group's wall-clock.
+                if let Some(obs) = &mut observer {
+                    obs.latency.execute.record(spent);
+                }
+                outcome
+            }
+            None => match &mut observer {
+                Some(obs) => obs.execute_timed(&mut engine, &prepared[i]),
+                None => execute_planned(&mut engine, &prepared[i]),
+            },
         };
         // The multi-form oracle inspects every statement the crash plane
         // passed on. It re-executes the statement's forms on private clones
         // of the *template* (never this shard's engine), so the verdict is
         // a pure function of (template, statement) — shard state and worker
-        // count cannot change it.
+        // count cannot change it. A batched outcome *is* the prepared-path
+        // outcome of a state-independent statement, so it doubles as the
+        // oracle's reference form and saves the form-A re-execution.
         let logic = match (&outcome, oracles) {
             (ExecOutcome::Crash(_), _) | (_, None) => None,
             (_, Some(opts)) if !opts.multi_form => None,
             (_, Some(_)) => prepared[i].as_ref().ok().and_then(|p| {
-                oracle::multi_form_check(template, &case.sql, p.statement())
-                    .map(|bug| (oracle::multi_form_fault_id(p.statement()), bug))
+                let bug = if from_batch {
+                    oracle::multi_form_check_with(template, &case.sql, p.statement(), &outcome)
+                } else {
+                    oracle::multi_form_check(template, &case.sql, p.statement())
+                };
+                bug.map(|bug| (oracle::multi_form_fault_id(p.statement()), bug))
             }),
         };
         let logic_fault: Option<Arc<str>> =

@@ -167,7 +167,23 @@ pub fn multi_form_check(template: &Engine, sql: &str, stmt: &Statement) -> Optio
         let prepared = engine.prepare_parsed(stmt.clone());
         engine.execute_prepared(&prepared)
     };
-    let expected = signature(&reference)?;
+    multi_form_check_with(template, sql, stmt, &reference)
+}
+
+/// [`multi_form_check`] with form A's outcome supplied by the caller,
+/// skipping one template clone and one prepared execution per check. The
+/// campaign's batch demux uses this: a batched statement's outcome *is* the
+/// prepared-path outcome, and batchable statements read neither tables nor
+/// mutable session state, so the outcome the shard engine produced is
+/// exactly what a private template clone would produce — the purity
+/// contract [`multi_form_check`] establishes by cloning.
+pub fn multi_form_check_with(
+    template: &Engine,
+    sql: &str,
+    stmt: &Statement,
+    reference: &ExecOutcome,
+) -> Option<LogicBug> {
+    let expected = signature(reference)?;
 
     let string_form = template.clone().execute(sql);
     match signature(&string_form) {

@@ -1,0 +1,34 @@
+//! Micro-profile: scalar vs batch per-row cost at varying group sizes.
+use soft_engine::{BatchArena, Engine};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn main() {
+    let template = Engine::with_default_functions(Default::default());
+    for sql in ["SELECT UPPER('boundary')", "SELECT ABS(-42)", "SELECT CONCAT('a', 'b', 'c')"] {
+        let p = template.prepare(sql).expect("parses");
+        let iters = 200_000u32;
+        let mut e = template.clone();
+        let t = Instant::now();
+        for _ in 0..iters {
+            black_box(e.execute_prepared(&p));
+        }
+        let scalar_ns = t.elapsed().as_nanos() as f64 / iters as f64;
+
+        for n in [2usize, 4, 8, 64, 256] {
+            let members: Vec<&_> = (0..n).map(|_| &p).collect();
+            let mut e = template.clone();
+            let mut arena = BatchArena::new();
+            let reps = (iters as usize / n).max(1) as u32;
+            let t = Instant::now();
+            for _ in 0..reps {
+                black_box(e.execute_batch_in(&members, &mut arena));
+            }
+            let per_row = t.elapsed().as_nanos() as f64 / (reps as f64 * n as f64);
+            println!(
+                "{sql:<32} n={n:<4} scalar {scalar_ns:7.0} ns/stmt  batch {per_row:7.0} ns/stmt  ({:.2}x)",
+                scalar_ns / per_row
+            );
+        }
+    }
+}

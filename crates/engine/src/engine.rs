@@ -245,6 +245,65 @@ impl Engine {
         }
     }
 
+    /// The structural shape key of a prepared statement, or `None` when it
+    /// cannot take the batch path (it reads rows, calls volatile or unknown
+    /// functions, aggregates, …). Statements with equal keys can be handed
+    /// to [`Engine::execute_batch`] as one group.
+    pub fn shape_key(&self, prepared: &Prepared) -> Option<crate::batch::ShapeKey> {
+        if self.config.limits.max_rows < 1 {
+            return None;
+        }
+        crate::batch::shape_key(&self.registry, &prepared.stmt)
+    }
+
+    /// Executes a group of same-shape prepared statements as one columnar
+    /// batch, allocating a fresh scratch arena. See
+    /// [`Engine::execute_batch_in`].
+    pub fn execute_batch(&mut self, members: &[&Prepared]) -> Option<Vec<ExecOutcome>> {
+        let mut arena = crate::batch::BatchArena::new();
+        self.execute_batch_in(members, &mut arena)
+    }
+
+    /// Executes a group of same-shape prepared statements as one columnar
+    /// batch using a caller-provided scratch arena (shard runners keep one
+    /// arena alive for the whole campaign).
+    ///
+    /// Returns `None`, with no side effects, when the group is not
+    /// batchable — callers fall back to [`Engine::execute_prepared`] per
+    /// member. On `Some`, the outcomes are exactly what
+    /// `execute_prepared` would have produced for each member, in member
+    /// order, including coverage, fault triggering and crash logging.
+    pub fn execute_batch_in(
+        &mut self,
+        members: &[&Prepared],
+        arena: &mut crate::batch::BatchArena,
+    ) -> Option<Vec<ExecOutcome>> {
+        let dispatch: &[DispatchEntry] = match members.first() {
+            Some(m) => &m.dispatch,
+            None => return Some(Vec::new()),
+        };
+        let mut exec = Exec {
+            registry: &self.registry,
+            faults: &self.faults,
+            coverage: &mut self.coverage,
+            catalog: &mut self.catalog,
+            session: &mut self.session,
+            strictness: self.config.strictness,
+            limits: self.config.limits,
+            memory_used: 0,
+            subquery_depth: 0,
+            dispatch,
+            feature_buf: String::new(),
+        };
+        let outcomes = crate::batch::execute_batch(&mut exec, members, arena)?;
+        for o in &outcomes {
+            if let ExecOutcome::Crash(c) = o {
+                self.crash_log.push(c.clone());
+            }
+        }
+        Some(outcomes)
+    }
+
     /// Executes one SQL statement: [`Engine::prepare`] composed with
     /// [`Engine::execute_prepared`], with prepare-stage failures surfaced
     /// as the same [`ExecOutcome::Error`]s the pre-split engine reported.

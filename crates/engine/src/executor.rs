@@ -51,7 +51,7 @@ pub(crate) struct Exec<'e> {
 /// A row-evaluation context: column bindings plus optional group rows for
 /// aggregate evaluation.
 #[derive(Clone, Copy)]
-struct RowCtx<'r> {
+pub(crate) struct RowCtx<'r> {
     /// Binding names, lowercase, aligned with row positions. Qualified
     /// aliases (`t.c`) are included as extra entries.
     columns: &'r [(String, usize)],
@@ -63,7 +63,7 @@ struct RowCtx<'r> {
 }
 
 impl<'r> RowCtx<'r> {
-    const EMPTY: RowCtx<'static> =
+    pub(crate) const EMPTY: RowCtx<'static> =
         RowCtx { columns: &[], row: None, group: None };
 }
 
@@ -180,7 +180,7 @@ impl<'e> Exec<'e> {
         Ok(crate::error::ExecOutcome::Ok(format!("INSERT {n}")))
     }
 
-    fn cast_limits(&self) -> soft_types::cast::CastLimits {
+    pub(crate) fn cast_limits(&self) -> soft_types::cast::CastLimits {
         soft_types::cast::CastLimits {
             max_decimal_digits: self.limits.max_decimal_digits,
             max_nesting_depth: self.limits.max_nesting_depth,
@@ -404,7 +404,7 @@ impl<'e> Exec<'e> {
         }
     }
 
-    fn output_name(item: &SelectItem, index: usize) -> String {
+    pub(crate) fn output_name(item: &SelectItem, index: usize) -> String {
         match item {
             SelectItem::Wildcard => format!("col{index}"),
             SelectItem::Expr { alias: Some(a), .. } => a.clone(),
@@ -534,7 +534,7 @@ impl<'e> Exec<'e> {
 
     // ---- expression evaluation ----
 
-    fn eval(&mut self, expr: &Expr, ctx: RowCtx<'_>) -> Result<Evaluated, EngineError> {
+    pub(crate) fn eval(&mut self, expr: &Expr, ctx: RowCtx<'_>) -> Result<Evaluated, EngineError> {
         match expr {
             Expr::Literal(l) => Ok(self.eval_literal(l)),
             Expr::Star => Ok(Evaluated { value: Value::Star, provenance: Provenance::Star }),
@@ -559,9 +559,8 @@ impl<'e> Exec<'e> {
             Expr::Binary { left, op, right } => self.eval_binary(left, *op, right, ctx),
             Expr::IsNull { expr, negated } => {
                 let v = self.eval(expr, ctx)?;
-                let isnull = v.value.is_null();
                 Ok(Evaluated {
-                    value: Value::Boolean(isnull != *negated),
+                    value: is_null_result(&v.value, *negated),
                     provenance: Provenance::Operator,
                 })
             }
@@ -593,16 +592,7 @@ impl<'e> Exec<'e> {
                 let v = self.eval(expr, ctx)?;
                 let lo = self.eval(low, ctx)?;
                 let hi = self.eval(high, ctx)?;
-                let ge = v.value.sql_cmp(&lo.value).unwrap_or(None);
-                let le = v.value.sql_cmp(&hi.value).unwrap_or(None);
-                let value = match (ge, le) {
-                    (Some(a), Some(b)) => {
-                        let inside = a != std::cmp::Ordering::Less
-                            && b != std::cmp::Ordering::Greater;
-                        Value::Boolean(inside != *negated)
-                    }
-                    _ => Value::Null,
-                };
+                let value = between_result(&v.value, &lo.value, &hi.value, *negated);
                 Ok(Evaluated { value, provenance: Provenance::Operator })
             }
             Expr::Case { operand, branches, else_expr } => {
@@ -720,14 +710,7 @@ impl<'e> Exec<'e> {
     }
 
     fn eval_literal(&mut self, l: &Literal) -> Evaluated {
-        let value = match l {
-            Literal::Null => Value::Null,
-            Literal::Boolean(b) => Value::Boolean(*b),
-            Literal::String(s) => Value::Text(s.clone()),
-            Literal::HexBlob(b) => Value::Binary(b.clone()),
-            Literal::Number(raw) => number_literal_value(raw),
-        };
-        Evaluated { value, provenance: Provenance::Literal }
+        Evaluated { value: literal_value(l), provenance: Provenance::Literal }
     }
 
     fn eval_column(&mut self, name: &str, ctx: RowCtx<'_>) -> Result<Evaluated, EngineError> {
@@ -754,42 +737,7 @@ impl<'e> Exec<'e> {
         ctx: RowCtx<'_>,
     ) -> Result<Evaluated, EngineError> {
         let inner = self.eval(expr, ctx)?;
-        match op {
-            UnaryOp::Plus => Ok(inner),
-            UnaryOp::Neg => {
-                let keep_literal = inner.provenance.is_literal();
-                let value = match inner.value {
-                    Value::Null => Value::Null,
-                    Value::Integer(i) => match i.checked_neg() {
-                        Some(v) => Value::Integer(v),
-                        None => Value::Decimal(Decimal::from_i128(-(i as i128))),
-                    },
-                    Value::Decimal(d) => Value::Decimal(d.neg()),
-                    Value::Float(f) => Value::Float(-f),
-                    other => {
-                        let f = soft_types::value::parse_numeric_prefix(&other.render());
-                        Value::Float(-f)
-                    }
-                };
-                Ok(Evaluated {
-                    value,
-                    // A negated literal is still a boundary *literal*
-                    // (P1.1's -0.99999 must count as literal provenance).
-                    provenance: if keep_literal {
-                        Provenance::Literal
-                    } else {
-                        Provenance::Operator
-                    },
-                })
-            }
-            UnaryOp::Not => {
-                let value = match inner.value.truthiness() {
-                    None => Value::Null,
-                    Some(b) => Value::Boolean(!b),
-                };
-                Ok(Evaluated { value, provenance: Provenance::Operator })
-            }
-        }
+        Ok(unary_op_result(op, inner))
     }
 
     fn eval_binary(
@@ -826,15 +774,28 @@ impl<'e> Exec<'e> {
         }
         let l = self.eval(left, ctx)?;
         let r = self.eval(right, ctx)?;
-        let value = match op {
+        let value = self.binary_op_value(op, &l.value, &r.value)?;
+        Ok(Evaluated { value, provenance: Provenance::Operator })
+    }
+
+    /// Combines two already-evaluated operand values for every binary
+    /// operator except the short-circuiting AND/OR — the single source of
+    /// truth shared by the scalar row path and the columnar batch kernel.
+    pub(crate) fn binary_op_value(
+        &mut self,
+        op: BinaryOp,
+        l: &Value,
+        r: &Value,
+    ) -> Result<Value, EngineError> {
+        match op {
             BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Rem => {
-                self.arith(op, &l.value, &r.value)?
+                self.arith(op, l, r)
             }
-            BinaryOp::Concat => match (&l.value, &r.value) {
+            BinaryOp::Concat => Ok(match (l, r) {
                 (Value::Null, _) | (_, Value::Null) => Value::Null,
                 (a, b) => Value::Text(format!("{}{}", a.render(), b.render())),
-            },
-            BinaryOp::Like => self.like(&l.value, &r.value)?,
+            }),
+            BinaryOp::Like => self.like(l, r),
             BinaryOp::Eq
             | BinaryOp::NotEq
             | BinaryOp::Lt
@@ -842,10 +803,9 @@ impl<'e> Exec<'e> {
             | BinaryOp::Gt
             | BinaryOp::GtEq => {
                 let ord = l
-                    .value
-                    .sql_cmp(&r.value)
+                    .sql_cmp(r)
                     .map_err(|e| EngineError::Sql(SqlError::TypeError(e.to_string())))?;
-                match ord {
+                Ok(match ord {
                     None => Value::Null,
                     Some(o) => {
                         use std::cmp::Ordering::*;
@@ -860,11 +820,10 @@ impl<'e> Exec<'e> {
                         };
                         Value::Boolean(b)
                     }
-                }
+                })
             }
-            BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
-        };
-        Ok(Evaluated { value, provenance: Provenance::Operator })
+            BinaryOp::And | BinaryOp::Or => unreachable!("AND/OR short-circuit separately"),
+        }
     }
 
     fn arith(&mut self, op: BinaryOp, l: &Value, r: &Value) -> Result<Value, EngineError> {
@@ -1130,7 +1089,7 @@ impl<'e> Exec<'e> {
         }
     }
 
-    fn record_call(&mut self, canonical: &str, args: &[Evaluated]) {
+    pub(crate) fn record_call(&mut self, canonical: &str, args: &[Evaluated]) {
         use std::fmt::Write as _;
         // The feature keys are rebuilt in a buffer reused across calls —
         // their bytes (what `record_feature` hashes) are exactly the strings
@@ -1208,6 +1167,77 @@ impl<'e> Exec<'e> {
     }
 }
 
+/// Shared unary-operator semantics over an already-evaluated operand — used
+/// by the scalar row path and the columnar batch kernel.
+pub(crate) fn unary_op_result(op: UnaryOp, inner: Evaluated) -> Evaluated {
+    match op {
+        UnaryOp::Plus => inner,
+        UnaryOp::Neg => {
+            let keep_literal = inner.provenance.is_literal();
+            let value = match inner.value {
+                Value::Null => Value::Null,
+                Value::Integer(i) => match i.checked_neg() {
+                    Some(v) => Value::Integer(v),
+                    None => Value::Decimal(Decimal::from_i128(-(i as i128))),
+                },
+                Value::Decimal(d) => Value::Decimal(d.neg()),
+                Value::Float(f) => Value::Float(-f),
+                other => {
+                    let f = soft_types::value::parse_numeric_prefix(&other.render());
+                    Value::Float(-f)
+                }
+            };
+            Evaluated {
+                value,
+                // A negated literal is still a boundary *literal*
+                // (P1.1's -0.99999 must count as literal provenance).
+                provenance: if keep_literal {
+                    Provenance::Literal
+                } else {
+                    Provenance::Operator
+                },
+            }
+        }
+        UnaryOp::Not => {
+            let value = match inner.value.truthiness() {
+                None => Value::Null,
+                Some(b) => Value::Boolean(!b),
+            };
+            Evaluated { value, provenance: Provenance::Operator }
+        }
+    }
+}
+
+/// The engine value of a literal as written — shared by the row evaluator
+/// and the batch binder.
+pub(crate) fn literal_value(l: &Literal) -> Value {
+    match l {
+        Literal::Null => Value::Null,
+        Literal::Boolean(b) => Value::Boolean(*b),
+        Literal::String(s) => Value::Text(s.clone()),
+        Literal::HexBlob(b) => Value::Binary(b.clone()),
+        Literal::Number(raw) => number_literal_value(raw),
+    }
+}
+
+/// Shared `IS [NOT] NULL` semantics.
+pub(crate) fn is_null_result(v: &Value, negated: bool) -> Value {
+    Value::Boolean(v.is_null() != negated)
+}
+
+/// Shared `BETWEEN` semantics over already-evaluated operand values.
+pub(crate) fn between_result(v: &Value, lo: &Value, hi: &Value, negated: bool) -> Value {
+    let ge = v.sql_cmp(lo).unwrap_or(None);
+    let le = v.sql_cmp(hi).unwrap_or(None);
+    match (ge, le) {
+        (Some(a), Some(b)) => {
+            let inside = a != std::cmp::Ordering::Less && b != std::cmp::Ordering::Greater;
+            Value::Boolean(inside != negated)
+        }
+        _ => Value::Null,
+    }
+}
+
 /// Parses a numeric literal, preferring exact representations:
 /// integer → decimal → float (for digit counts beyond the decimal cap).
 pub fn number_literal_value(raw: &str) -> Value {
@@ -1235,7 +1265,7 @@ pub fn number_literal_value(raw: &str) -> Value {
 /// AST-level aggregate detection. Does not recurse into subqueries, which
 /// establish their own aggregate scope (`WHERE x = (SELECT MAX(..) ..)` is
 /// legal).
-fn contains_aggregate_err(registry: &FunctionRegistry, expr: &Expr) -> bool {
+pub(crate) fn contains_aggregate_err(registry: &FunctionRegistry, expr: &Expr) -> bool {
     fn walk(registry: &FunctionRegistry, e: &Expr) -> bool {
         match e {
             Expr::Function(fx) => {

@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod batch;
 pub mod catalog;
 pub mod coverage;
 pub mod error;
@@ -34,6 +35,7 @@ pub mod registry;
 
 mod engine;
 
+pub use batch::{BatchArena, ShapeKey, MIN_BATCH_GROUP};
 pub use coverage::Coverage;
 pub use engine::{Engine, EngineConfig, Prepared};
 pub use error::{CrashKind, CrashReport, ExecOutcome, ResultSet, SqlError, Stage};

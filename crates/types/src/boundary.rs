@@ -106,6 +106,12 @@ pub fn repeated_prefix_run(s: &str) -> usize {
     best
 }
 
+/// Case-insensitive ASCII prefix test without allocating an uppercased copy
+/// — `looks_structured` runs on every text argument of every call.
+fn has_prefix_ci(t: &str, prefix: &str) -> bool {
+    t.len() >= prefix.len() && t.as_bytes()[..prefix.len()].eq_ignore_ascii_case(prefix.as_bytes())
+}
+
 /// True if the text looks like a structured format a SQL function might
 /// parse: JSON, XML, WKT, a date, or a network address.
 pub fn looks_structured(s: &str) -> bool {
@@ -113,11 +119,10 @@ pub fn looks_structured(s: &str) -> bool {
     if t.starts_with('{') || t.starts_with('[') || t.starts_with('<') {
         return true;
     }
-    let upper = t.to_ascii_uppercase();
-    if upper.starts_with("POINT")
-        || upper.starts_with("LINESTRING")
-        || upper.starts_with("POLYGON")
-        || upper.starts_with("GEOMETRYCOLLECTION")
+    if has_prefix_ci(t, "POINT")
+        || has_prefix_ci(t, "LINESTRING")
+        || has_prefix_ci(t, "POLYGON")
+        || has_prefix_ci(t, "GEOMETRYCOLLECTION")
     {
         return true;
     }
@@ -132,106 +137,184 @@ pub fn looks_structured(s: &str) -> bool {
     false
 }
 
-/// Classifies a value into its boundary classes (possibly empty for an
-/// ordinary mid-range value).
-pub fn classify(value: &Value) -> Vec<BoundaryClass> {
+/// The `(class, bit)` table behind [`class_bits`], in the sorted order
+/// [`classify`] promises (variant order, then bucket payload order).
+const CLASS_TABLE: [BoundaryClass; 22] = {
     use BoundaryClass::*;
-    let mut out = Vec::new();
+    [
+        NullValue,
+        StarValue,
+        EmptyString,
+        ZeroNumeric,
+        NegativeNumeric,
+        ExtremeInt,
+        NonFiniteFloat,
+        ManyDigits(10),
+        ManyDigits(20),
+        ManyDigits(40),
+        ManyDigits(65),
+        LongString(256),
+        LongString(4096),
+        LongString(65536),
+        RepeatedPrefix(8),
+        RepeatedPrefix(64),
+        RepeatedPrefix(512),
+        DeepNesting(8),
+        DeepNesting(32),
+        DeepNesting(64),
+        EmptyContainer,
+        StructuredText,
+    ]
+};
+
+fn class_bit(class: BoundaryClass) -> u32 {
+    use BoundaryClass::*;
+    // Must agree with `CLASS_TABLE` index for index — pinned by a test.
+    let idx = match class {
+        NullValue => 0,
+        StarValue => 1,
+        EmptyString => 2,
+        ZeroNumeric => 3,
+        NegativeNumeric => 4,
+        ExtremeInt => 5,
+        NonFiniteFloat => 6,
+        ManyDigits(10) => 7,
+        ManyDigits(20) => 8,
+        ManyDigits(40) => 9,
+        ManyDigits(_) => 10,
+        LongString(256) => 11,
+        LongString(4096) => 12,
+        LongString(_) => 13,
+        RepeatedPrefix(8) => 14,
+        RepeatedPrefix(64) => 15,
+        RepeatedPrefix(_) => 16,
+        DeepNesting(8) => 17,
+        DeepNesting(32) => 18,
+        DeepNesting(_) => 19,
+        EmptyContainer => 20,
+        StructuredText => 21,
+    };
+    1 << idx
+}
+
+/// The boundary classes of a value as a bitmask over the (finite) class
+/// universe — the allocation-free form of [`classify`], used on per-call hot
+/// paths (coverage memo keys in the batch kernel). Bit `i` is set iff
+/// `classify(value)` contains the `i`-th class in sorted order.
+pub fn class_bits(value: &Value) -> u32 {
+    use BoundaryClass::*;
+    let mut bits = 0u32;
+    let mut set = |c: BoundaryClass| bits |= class_bit(c);
     match value {
-        Value::Null => out.push(NullValue),
-        Value::Star => out.push(StarValue),
+        Value::Null => set(NullValue),
+        Value::Star => set(StarValue),
         Value::Integer(i) => {
             if *i == 0 {
-                out.push(ZeroNumeric);
+                set(ZeroNumeric);
             }
             if *i < 0 {
-                out.push(NegativeNumeric);
+                set(NegativeNumeric);
             }
-            if i.unsigned_abs() >= i64::MAX as u64 - 1000 {
-                out.push(ExtremeInt);
+            let mag = i.unsigned_abs();
+            if mag >= i64::MAX as u64 - 1000 {
+                set(ExtremeInt);
             }
-            if let Some(b) = digit_bucket(i.unsigned_abs().to_string().len()) {
-                out.push(ManyDigits(b));
+            let digits = mag.checked_ilog10().map_or(1, |l| l as usize + 1);
+            if let Some(b) = digit_bucket(digits) {
+                set(ManyDigits(b));
             }
         }
         Value::Decimal(d) => {
             if d.is_zero() {
-                out.push(ZeroNumeric);
+                set(ZeroNumeric);
             }
             if d.is_negative() {
-                out.push(NegativeNumeric);
+                set(NegativeNumeric);
             }
             if let Some(b) = digit_bucket(d.total_digits()) {
-                out.push(ManyDigits(b));
+                set(ManyDigits(b));
             }
         }
         Value::Float(f) => {
             if *f == 0.0 {
-                out.push(ZeroNumeric);
+                set(ZeroNumeric);
             }
             if *f < 0.0 {
-                out.push(NegativeNumeric);
+                set(NegativeNumeric);
             }
             if !f.is_finite() {
-                out.push(NonFiniteFloat);
+                set(NonFiniteFloat);
             }
         }
         Value::Text(s) => {
             if s.is_empty() {
-                out.push(EmptyString);
+                set(EmptyString);
             }
             if let Some(b) = len_bucket(s.len()) {
-                out.push(LongString(b));
+                set(LongString(b));
             }
             if let Some(b) = repeat_bucket(repeated_prefix_run(s)) {
-                out.push(RepeatedPrefix(b));
+                set(RepeatedPrefix(b));
             }
             if looks_structured(s) {
-                out.push(StructuredText);
+                set(StructuredText);
             }
         }
         Value::Binary(b) => {
             if b.is_empty() {
-                out.push(EmptyString);
+                set(EmptyString);
             }
             if let Some(bucket) = len_bucket(b.len()) {
-                out.push(LongString(bucket));
+                set(LongString(bucket));
             }
         }
         Value::Json(j) => {
             if let Some(b) = depth_bucket(j.depth()) {
-                out.push(DeepNesting(b));
+                set(DeepNesting(b));
             }
             if j.length() == 0 {
-                out.push(EmptyContainer);
+                set(EmptyContainer);
             }
         }
         Value::Xml(x) => {
             let depth = x.roots.iter().map(|n| n.depth()).max().unwrap_or(0);
             if let Some(b) = depth_bucket(depth) {
-                out.push(DeepNesting(b));
+                set(DeepNesting(b));
             }
             if x.roots.is_empty() {
-                out.push(EmptyContainer);
+                set(EmptyContainer);
             }
         }
-        Value::Array(items) | Value::Row(items) => {
-            if items.is_empty() {
-                out.push(EmptyContainer);
+        Value::Array(_) | Value::Row(_) => {
+            let items_empty = match value {
+                Value::Array(items) | Value::Row(items) => items.is_empty(),
+                _ => unreachable!(),
+            };
+            if items_empty {
+                set(EmptyContainer);
             }
             if let Some(b) = depth_bucket(container_depth(value)) {
-                out.push(DeepNesting(b));
+                set(DeepNesting(b));
             }
         }
-        Value::Map(entries)
-            if entries.is_empty() => {
-                out.push(EmptyContainer);
-            }
+        Value::Map(entries) if entries.is_empty() => set(EmptyContainer),
         _ => {}
     }
-    out.sort();
-    out.dedup();
-    out
+    bits
+}
+
+/// Classifies a value into its boundary classes, sorted and deduplicated
+/// (possibly empty for an ordinary mid-range value). This is the readable
+/// form of [`class_bits`] — the two can never disagree because this one is
+/// derived from the bitmask.
+pub fn classify(value: &Value) -> Vec<BoundaryClass> {
+    let bits = class_bits(value);
+    CLASS_TABLE
+        .iter()
+        .enumerate()
+        .filter(|&(i, _)| bits & (1 << i) != 0)
+        .map(|(_, &c)| c)
+        .collect()
 }
 
 fn container_depth(v: &Value) -> usize {
@@ -312,5 +395,34 @@ mod tests {
     fn empty_containers() {
         assert!(classify(&Value::Array(vec![])).contains(&BoundaryClass::EmptyContainer));
         assert!(classify(&Value::Map(vec![])).contains(&BoundaryClass::EmptyContainer));
+    }
+
+    #[test]
+    fn class_table_is_sorted_and_bit_indexed() {
+        for (i, &c) in CLASS_TABLE.iter().enumerate() {
+            assert_eq!(class_bit(c), 1 << i, "bit index drifted for {c:?}");
+            if i > 0 {
+                assert!(CLASS_TABLE[i - 1] < c, "table out of sorted order at {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_stays_sorted_and_deduped() {
+        // classify is derived from the bitmask, so the sorted-set contract
+        // holds for any value; spot-check multi-class values.
+        let vals = [
+            Value::Integer(-5),
+            Value::Integer(i64::MIN),
+            Value::Text("[1,".repeat(2000)),
+            Value::Float(f64::NEG_INFINITY),
+        ];
+        for v in &vals {
+            let c = classify(v);
+            let mut sorted = c.clone();
+            sorted.sort();
+            sorted.dedup();
+            assert_eq!(c, sorted, "classify({v:?}) not sorted/deduped");
+        }
     }
 }

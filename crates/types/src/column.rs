@@ -1,0 +1,494 @@
+//! Columnar value storage for batch execution.
+//!
+//! Campaigns are embarrassingly batchable: thousands of generated statements
+//! share a handful of AST shapes and differ only in their boundary literals.
+//! The batch executor groups statements by shape and binds each literal slot
+//! into a [`ColumnVec`] — one typed column per slot, rows indexed by group
+//! member — so the hot loop walks flat arrays instead of re-materialising a
+//! `Value` per row.
+//!
+//! A [`ColumnVec`] stores values in a typed backing array chosen from the
+//! first value pushed (`i64`, `f64`, `bool`, or a shared string heap for
+//! text) and carries a validity bitmap for SQL NULLs. Pushing a value of a
+//! different type promotes the column to the [`ColumnData::Mixed`] fallback,
+//! which keeps full `Value` fidelity for heterogeneous slots (boundary
+//! corpora mix e.g. `0`, `'a'` and `NULL` in the same slot on purpose).
+//!
+//! ```
+//! use soft_types::column::ColumnVec;
+//! use soft_types::value::Value;
+//!
+//! let mut col = ColumnVec::new();
+//! col.push(&Value::Integer(7));
+//! col.push(&Value::Null);
+//! col.push(&Value::Integer(-1));
+//! assert_eq!(col.len(), 3);
+//! assert_eq!(col.value_at(0), Value::Integer(7));
+//! assert!(col.is_null(1));
+//! assert_eq!(col.value_at(2), Value::Integer(-1));
+//! ```
+
+use crate::value::Value;
+
+/// Typed backing storage for one column.
+///
+/// The variant is picked from the first non-NULL value pushed; pushing a
+/// value the variant cannot hold promotes the whole column to `Mixed`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ColumnData {
+    /// All-NULL so far; no backing array has been committed yet.
+    Untyped,
+    /// 64-bit integers (`Value::Integer`).
+    Int(Vec<i64>),
+    /// 64-bit floats (`Value::Float`).
+    Float(Vec<f64>),
+    /// Booleans (`Value::Boolean`).
+    Bool(Vec<bool>),
+    /// Text spans into a shared heap (`Value::Text`) — one allocation for
+    /// the whole column instead of one `String` per row.
+    Text {
+        /// Concatenated bytes of every row's text.
+        heap: String,
+        /// `(offset, len)` byte spans into `heap`, one per row.
+        spans: Vec<(u32, u32)>,
+    },
+    /// Fallback: full `Value`s, used once a column turns heterogeneous.
+    Mixed(Vec<Value>),
+}
+
+/// A typed column of SQL values with a validity bitmap.
+///
+/// Row `i` is NULL when bit `i` of the validity bitmap is clear; the
+/// backing array still holds a placeholder at that index so row offsets stay
+/// dense.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnVec {
+    data: ColumnData,
+    /// One bit per row; set = valid (non-NULL).
+    validity: Vec<u64>,
+    len: usize,
+}
+
+impl Default for ColumnVec {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ColumnVec {
+    /// An empty, untyped column.
+    pub fn new() -> Self {
+        ColumnVec { data: ColumnData::Untyped, validity: Vec::new(), len: 0 }
+    }
+
+    /// Number of rows (valid + NULL).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no rows have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when row `i` is SQL NULL.
+    pub fn is_null(&self, i: usize) -> bool {
+        debug_assert!(i < self.len);
+        self.validity[i / 64] & (1 << (i % 64)) == 0
+    }
+
+    /// Clear all rows but keep the backing allocations (arena reuse).
+    pub fn clear(&mut self) {
+        self.len = 0;
+        self.validity.clear();
+        match &mut self.data {
+            ColumnData::Untyped => {}
+            ColumnData::Int(v) => v.clear(),
+            ColumnData::Float(v) => v.clear(),
+            ColumnData::Bool(v) => v.clear(),
+            ColumnData::Text { heap, spans } => {
+                heap.clear();
+                spans.clear();
+            }
+            ColumnData::Mixed(v) => v.clear(),
+        }
+    }
+
+    fn push_validity(&mut self, valid: bool) {
+        let bit = self.len % 64;
+        if bit == 0 {
+            self.validity.push(0);
+        }
+        if valid {
+            *self.validity.last_mut().expect("validity word") |= 1 << bit;
+        }
+        self.len += 1;
+    }
+
+    /// Promote the current backing array to `Mixed`, reconstructing the
+    /// already-pushed rows as full `Value`s.
+    fn promote_to_mixed(&mut self) {
+        let rows = self.len;
+        let mut mixed: Vec<Value> = Vec::with_capacity(rows + 1);
+        for i in 0..rows {
+            mixed.push(self.value_at(i));
+        }
+        self.data = ColumnData::Mixed(mixed);
+    }
+
+    /// Append a value (cloned as needed). NULLs never force a promotion:
+    /// they are recorded in the bitmap with a placeholder slot.
+    pub fn push(&mut self, v: &Value) {
+        if matches!(v, Value::Null) {
+            match &mut self.data {
+                ColumnData::Untyped => {}
+                ColumnData::Int(vec) => vec.push(0),
+                ColumnData::Float(vec) => vec.push(0.0),
+                ColumnData::Bool(vec) => vec.push(false),
+                ColumnData::Text { spans, .. } => spans.push((0, 0)),
+                ColumnData::Mixed(vec) => vec.push(Value::Null),
+            }
+            self.push_validity(false);
+            return;
+        }
+        // Commit a typed backing array on the first non-NULL push, back-filling
+        // placeholders for any leading NULL rows.
+        if matches!(self.data, ColumnData::Untyped) {
+            self.data = match v {
+                Value::Integer(_) => ColumnData::Int(vec![0; self.len]),
+                Value::Float(_) => ColumnData::Float(vec![0.0; self.len]),
+                Value::Boolean(_) => ColumnData::Bool(vec![false; self.len]),
+                Value::Text(_) => {
+                    ColumnData::Text { heap: String::new(), spans: vec![(0, 0); self.len] }
+                }
+                _ => ColumnData::Mixed(vec![Value::Null; self.len]),
+            };
+        }
+        let fits = match (&mut self.data, v) {
+            (ColumnData::Int(vec), Value::Integer(n)) => {
+                vec.push(*n);
+                true
+            }
+            (ColumnData::Float(vec), Value::Float(f)) => {
+                vec.push(*f);
+                true
+            }
+            (ColumnData::Bool(vec), Value::Boolean(b)) => {
+                vec.push(*b);
+                true
+            }
+            (ColumnData::Text { heap, spans }, Value::Text(s)) => {
+                let off = heap.len();
+                heap.push_str(s);
+                spans.push((off as u32, s.len() as u32));
+                true
+            }
+            (ColumnData::Mixed(vec), v) => {
+                vec.push(v.clone());
+                true
+            }
+            _ => false,
+        };
+        if !fits {
+            self.promote_to_mixed();
+            if let ColumnData::Mixed(vec) = &mut self.data {
+                vec.push(v.clone());
+            }
+        }
+        self.push_validity(true);
+    }
+
+    /// Append an owned value, moving heap contents where the backing array
+    /// can hold them — the batch executor's output path (function results
+    /// are produced owned; cloning them again would double the allocation
+    /// traffic the column exists to remove).
+    pub fn push_owned(&mut self, v: Value) {
+        match (&mut self.data, v) {
+            // Only the `Mixed` fallback stores whole `Value`s; every typed
+            // backing array copies out the payload anyway, so `push` is
+            // already move-equivalent there.
+            (ColumnData::Mixed(vec), v) => {
+                let valid = !matches!(v, Value::Null);
+                vec.push(v);
+                self.push_validity(valid);
+            }
+            (_, v) => self.push(&v),
+        }
+    }
+
+    /// Materialise row `i` as an owned `Value` (allocates for text/mixed).
+    pub fn value_at(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            ColumnData::Untyped => Value::Null,
+            ColumnData::Int(v) => Value::Integer(v[i]),
+            ColumnData::Float(v) => Value::Float(v[i]),
+            ColumnData::Bool(v) => Value::Boolean(v[i]),
+            ColumnData::Text { heap, spans } => {
+                let (off, len) = spans[i];
+                Value::Text(heap[off as usize..(off + len) as usize].to_string())
+            }
+            ColumnData::Mixed(v) => v[i].clone(),
+        }
+    }
+
+    /// Load row `i` into `out`, reusing `out`'s existing heap allocation when
+    /// both sides are text — the batch hot loop's zero-allocation path.
+    pub fn load_into(&self, i: usize, out: &mut Value) {
+        if self.is_null(i) {
+            *out = Value::Null;
+            return;
+        }
+        match &self.data {
+            ColumnData::Untyped => *out = Value::Null,
+            ColumnData::Int(v) => *out = Value::Integer(v[i]),
+            ColumnData::Float(v) => *out = Value::Float(v[i]),
+            ColumnData::Bool(v) => *out = Value::Boolean(v[i]),
+            ColumnData::Text { heap, spans } => {
+                let (off, len) = spans[i];
+                let text = &heap[off as usize..(off + len) as usize];
+                if let Value::Text(s) = out {
+                    s.clear();
+                    s.push_str(text);
+                } else {
+                    *out = Value::Text(text.to_string());
+                }
+            }
+            ColumnData::Mixed(v) => out.clone_from(&v[i]),
+        }
+    }
+
+    /// Move row `i` out of the column, leaving a NULL placeholder. Typed
+    /// backing arrays copy (`Copy` payloads, or a heap-span for text); the
+    /// `Mixed` fallback genuinely moves. Sound only when each row is read
+    /// once — which batch plans guarantee, because every node has exactly
+    /// one consumer (its parent, or the demultiplexer for roots).
+    pub fn take_at(&mut self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &mut self.data {
+            ColumnData::Mixed(v) => std::mem::replace(&mut v[i], Value::Null),
+            _ => self.value_at(i),
+        }
+    }
+
+    /// [`ColumnVec::take_at`] into an existing slot: moves for `Mixed`
+    /// backing, otherwise defers to [`ColumnVec::load_into`] (which reuses
+    /// `out`'s text allocation).
+    pub fn take_into(&mut self, i: usize, out: &mut Value) {
+        if !self.is_null(i) {
+            if let ColumnData::Mixed(v) = &mut self.data {
+                *out = std::mem::replace(&mut v[i], Value::Null);
+                return;
+            }
+        }
+        self.load_into(i, out);
+    }
+
+    /// Commit this empty column to `Mixed` backing up front. Batch *output*
+    /// columns call this: results are produced owned and consumed exactly
+    /// once, so storing whole `Value`s makes the column round-trip two moves
+    /// — a typed array would copy text in and allocate it back out, which
+    /// for boundary-length strings costs more than the whole evaluation.
+    pub fn make_mixed(&mut self) {
+        debug_assert!(self.is_empty(), "make_mixed on a non-empty column");
+        if !matches!(self.data, ColumnData::Mixed(_)) {
+            self.data = ColumnData::Mixed(Vec::new());
+        }
+    }
+
+    /// The backing storage (inspection / tests).
+    pub fn data(&self) -> &ColumnData {
+        &self.data
+    }
+}
+
+/// A recycling pool of [`ColumnVec`]s and scratch `Value` rows.
+///
+/// One arena lives per shard for the whole campaign: every batch returns its
+/// columns and row buffers here, so steady-state batch execution performs no
+/// per-statement allocation in the binding layer.
+#[derive(Debug, Default)]
+pub struct ColumnArena {
+    columns: Vec<ColumnVec>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl ColumnArena {
+    /// A fresh, empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a cleared column from the pool (or allocate the first time).
+    pub fn take_column(&mut self) -> ColumnVec {
+        let mut col = self.columns.pop().unwrap_or_default();
+        col.clear();
+        col
+    }
+
+    /// Return a column to the pool, keeping its backing allocation.
+    pub fn put_column(&mut self, col: ColumnVec) {
+        self.columns.push(col);
+    }
+
+    /// Take a cleared scratch row from the pool.
+    pub fn take_row(&mut self) -> Vec<Value> {
+        let mut row = self.rows.pop().unwrap_or_default();
+        row.clear();
+        row
+    }
+
+    /// Return a scratch row to the pool.
+    pub fn put_row(&mut self, row: Vec<Value>) {
+        self.rows.push(row);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_roundtrip_and_nulls() {
+        let mut col = ColumnVec::new();
+        for v in [Value::Null, Value::Integer(1), Value::Null, Value::Integer(i64::MIN)] {
+            col.push(&v);
+        }
+        assert_eq!(col.len(), 4);
+        assert!(col.is_null(0));
+        assert!(!col.is_null(1));
+        assert_eq!(col.value_at(1), Value::Integer(1));
+        assert!(col.is_null(2));
+        assert_eq!(col.value_at(3), Value::Integer(i64::MIN));
+        assert!(matches!(col.data(), ColumnData::Int(_)));
+    }
+
+    #[test]
+    fn text_uses_shared_heap() {
+        let mut col = ColumnVec::new();
+        col.push(&Value::Text("abc".into()));
+        col.push(&Value::Text(String::new()));
+        col.push(&Value::Text("Ω".into()));
+        match col.data() {
+            ColumnData::Text { heap, spans } => {
+                assert_eq!(heap, "abcΩ");
+                assert_eq!(spans.len(), 3);
+            }
+            other => panic!("expected text column, got {other:?}"),
+        }
+        assert_eq!(col.value_at(0), Value::Text("abc".into()));
+        assert_eq!(col.value_at(1), Value::Text(String::new()));
+        assert_eq!(col.value_at(2), Value::Text("Ω".into()));
+    }
+
+    #[test]
+    fn heterogeneous_promotes_to_mixed() {
+        let mut col = ColumnVec::new();
+        col.push(&Value::Integer(3));
+        col.push(&Value::Text("x".into()));
+        col.push(&Value::Null);
+        assert!(matches!(col.data(), ColumnData::Mixed(_)));
+        assert_eq!(col.value_at(0), Value::Integer(3));
+        assert_eq!(col.value_at(1), Value::Text("x".into()));
+        assert_eq!(col.value_at(2), Value::Null);
+    }
+
+    #[test]
+    fn all_null_column_stays_untyped() {
+        let mut col = ColumnVec::new();
+        col.push(&Value::Null);
+        col.push(&Value::Null);
+        assert!(matches!(col.data(), ColumnData::Untyped));
+        assert_eq!(col.value_at(1), Value::Null);
+    }
+
+    #[test]
+    fn load_into_reuses_text_allocation() {
+        let mut col = ColumnVec::new();
+        col.push(&Value::Text("hello".into()));
+        let mut out = Value::Text(String::with_capacity(32));
+        col.load_into(0, &mut out);
+        match &out {
+            Value::Text(s) => {
+                assert_eq!(s, "hello");
+                assert!(s.capacity() >= 32, "capacity was not reused");
+            }
+            other => panic!("expected text, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn push_owned_matches_push() {
+        let mut a = ColumnVec::new();
+        let mut b = ColumnVec::new();
+        let values = [Value::Integer(1), Value::Text("x".into()), Value::Null];
+        for v in &values {
+            a.push(v);
+        }
+        for v in values {
+            b.push_owned(v);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn take_at_moves_out_of_mixed() {
+        let mut col = ColumnVec::new();
+        col.make_mixed();
+        col.push_owned(Value::Text("payload".into()));
+        col.push_owned(Value::Null);
+        assert_eq!(col.take_at(0), Value::Text("payload".into()));
+        // The slot is spent, not duplicated: a second take sees the
+        // placeholder.
+        assert_eq!(col.take_at(0), Value::Null);
+    }
+
+    #[test]
+    fn take_into_copies_from_typed_backing() {
+        let mut col = ColumnVec::new();
+        col.push(&Value::Integer(5));
+        let mut out = Value::Null;
+        col.take_into(0, &mut out);
+        assert_eq!(out, Value::Integer(5));
+        // Typed backing is non-destructive.
+        assert_eq!(col.value_at(0), Value::Integer(5));
+    }
+
+    #[test]
+    fn make_mixed_keeps_owned_values_movable() {
+        let mut arena = ColumnArena::new();
+        let mut col = arena.take_column();
+        col.make_mixed();
+        col.push_owned(Value::Array(vec![Value::Integer(1)]));
+        assert!(matches!(col.data(), ColumnData::Mixed(_)));
+        assert_eq!(col.take_at(0), Value::Array(vec![Value::Integer(1)]));
+        arena.put_column(col);
+        // Recycled columns keep the Mixed backing after clear().
+        let col = arena.take_column();
+        assert!(matches!(col.data(), ColumnData::Mixed(_)));
+    }
+
+    #[test]
+    fn arena_recycles_columns() {
+        let mut arena = ColumnArena::new();
+        let mut col = arena.take_column();
+        col.push(&Value::Integer(9));
+        arena.put_column(col);
+        let col = arena.take_column();
+        assert!(col.is_empty(), "recycled column must come back cleared");
+    }
+
+    #[test]
+    fn clear_keeps_type_backing() {
+        let mut col = ColumnVec::new();
+        col.push(&Value::Float(1.5));
+        col.clear();
+        assert!(col.is_empty());
+        col.push(&Value::Float(2.5));
+        assert_eq!(col.value_at(0), Value::Float(2.5));
+    }
+}
