@@ -1,0 +1,80 @@
+//! Static vs adaptive budget scheduling on the Table 4 corpora: the same
+//! campaign run twice per target — once with the static round-robin
+//! planner, once with the epoch-based bandit (`CampaignConfig::schedule`) —
+//! comparing unique bugs per statement and work rates. The comparison
+//! table is the EXPERIMENTS.md "feedback scheduling" artifact; the gate
+//! asserts the adaptive planner matches or beats the static yield on at
+//! least one corpus at the default budget.
+//!
+//! `SOFT_SCHED_BENCH_BUDGET` overrides the per-arm statement budget for
+//! fast CI smokes; the yield gate only applies at the default budget
+//! (small smoke budgets make the yields too noisy to compare).
+
+use soft_bench::Bench;
+use soft_core::campaign::{run_soft_parallel, CampaignConfig};
+use soft_core::{CampaignReport, ScheduleConfig};
+use soft_dialects::{DialectId, DialectProfile};
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::new("schedule");
+    let (budget, gated) = match std::env::var("SOFT_SCHED_BENCH_BUDGET")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) => (n.max(1), false),
+        None => (20_000, true),
+    };
+    let workers = soft_core::default_workers().min(4);
+    let rate = |r: &CampaignReport| {
+        1e5 * r.findings.len() as f64 / r.statements_executed.max(1) as f64
+    };
+
+    println!("static vs adaptive scheduling — budget {budget} per arm, {workers} workers\n");
+    println!(
+        "{:<12} {:>6} {:>6} {:>15} {:>15}",
+        "corpus", "static", "adapt", "static/100k", "adaptive/100k"
+    );
+    let mut adaptive_holds = 0usize;
+    for id in [DialectId::Monetdb, DialectId::Clickhouse, DialectId::Mariadb] {
+        let profile = DialectProfile::build(id);
+        let static_cfg = CampaignConfig {
+            max_statements: budget,
+            per_seed_cap: 16,
+            ..CampaignConfig::default()
+        };
+        let adaptive_cfg =
+            CampaignConfig { schedule: ScheduleConfig::on(), ..static_cfg.clone() };
+        let s = run_soft_parallel(&profile, &static_cfg, workers);
+        let a = run_soft_parallel(&profile, &adaptive_cfg, workers);
+        println!(
+            "{:<12} {:>6} {:>6} {:>15.2} {:>15.2}",
+            id.name(),
+            s.findings.len(),
+            a.findings.len(),
+            rate(&s),
+            rate(&a)
+        );
+        if rate(&a) >= rate(&s) {
+            adaptive_holds += 1;
+        }
+        b.bench_items(
+            &format!("schedule/static/{}", id.name()),
+            s.statements_executed as u64,
+            || black_box(run_soft_parallel(&profile, &static_cfg, workers).findings.len()),
+        );
+        b.bench_items(
+            &format!("schedule/adaptive/{}", id.name()),
+            a.statements_executed as u64,
+            || black_box(run_soft_parallel(&profile, &adaptive_cfg, workers).findings.len()),
+        );
+    }
+    if gated {
+        assert!(
+            adaptive_holds >= 1,
+            "adaptive scheduling must match or beat the static \
+             unique-bugs-per-statement yield on at least one Table 4 corpus"
+        );
+    }
+    b.finish();
+}

@@ -18,7 +18,18 @@
 //! * `repro bundle <dialect> [--budget N] [--out DIR]` runs a campaign and
 //!   writes one forensics bundle per unique finding;
 //! * `repro replay <path>` replays a bundle directory (or every bundle
-//!   under a findings root) and checks each PoC still fires its fault.
+//!   under a findings root) and checks each PoC still fires its fault;
+//! * `repro repo <init|ingest|stats|export>` manages a persistent seed
+//!   repository: distilled findings (PoCs + boundary literals) that later
+//!   campaigns consume via `repro campaign --repo DIR`;
+//! * `repro help` prints the full command reference
+//!   ([`soft_bench::cli::render_help`] — the same table the documentation
+//!   sync test walks).
+//!
+//! The campaign scheduler: `--schedule` (or `--epochs N`) replaces the
+//! static round-robin planner with the epoch-based bandit of
+//! `soft_core::schedule` — plan-then-execute, so reports stay
+//! byte-identical at any worker count.
 //!
 //! Exit codes (the campaign contract, see EXPERIMENTS.md): `0` success /
 //! no findings, `2` usage error, `3` the campaign confirmed at least one
@@ -32,7 +43,10 @@ use soft_core::campaign::{
     run_campaign, run_soft_parallel_live, run_soft_parallel_timed, CampaignConfig, LivePlane,
 };
 use soft_core::report::render_table4;
-use soft_core::{OracleConfig, TelemetryConfig, TelemetryOptions};
+use soft_core::{
+    OracleConfig, ScheduleConfig, ScheduleOptions, SeedRepository, TelemetryConfig,
+    TelemetryOptions,
+};
 use soft_dialects::{all_cases, CaseKind, DialectId, DialectProfile};
 use soft_obs::{Bundle, LiveMetrics, MetricsServer, TraceFile, WatchdogConfig};
 use soft_study::{analysis, studied_bugs};
@@ -65,6 +79,8 @@ fn main() {
         "trace" => trace(&args),
         "bundle" => bundle(&args, budget),
         "replay" => replay(&args),
+        "repo" => repo_cmd(&args),
+        "help" | "--help" | "-h" => print!("{}", soft_bench::render_help()),
         "all" => {
             table1();
             table2();
@@ -84,8 +100,9 @@ fn main() {
             eprintln!(
                 "artifacts: table1 table2 table3 figure1 findings rootcauses table4 \
                  figure2 table5 table6 bugs24h cases ablation campaign trace bundle \
-                 replay all"
+                 replay repo help all"
             );
+            eprintln!("see `repro help` for the full reference");
             std::process::exit(2);
         }
     }
@@ -110,7 +127,8 @@ fn campaign(args: &[String], budget: usize) {
     let Some(id) = args.get(1).and_then(|n| dialect_by_name(n)) else {
         eprintln!(
             "usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH] \
-             [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles] [--no-batch]"
+             [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles] [--no-batch] \
+             [--schedule] [--epochs N] [--repo DIR]"
         );
         eprintln!(
             "dialects: {}",
@@ -127,6 +145,17 @@ fn campaign(args: &[String], budget: usize) {
     let findings_dir = flag_value(args, "--findings").map(std::path::PathBuf::from);
     let oracles = args.iter().any(|a| a == "--oracles");
     let no_batch = args.iter().any(|a| a == "--no-batch");
+    let epochs = flag_value(args, "--epochs").and_then(|v| v.parse::<usize>().ok());
+    let schedule = if args.iter().any(|a| a == "--schedule") || epochs.is_some() {
+        let mut opts = ScheduleOptions::default();
+        if let Some(n) = epochs {
+            opts.epochs = n.max(1);
+        }
+        ScheduleConfig::On(opts)
+    } else {
+        ScheduleConfig::Off
+    };
+    let repository = flag_value(args, "--repo").map(std::path::PathBuf::from);
     hr(&format!("Telemetry campaign — {}", id.name()));
     let snapshot_interval = (budget / 20).clamp(100, 10_000);
     let cfg = CampaignConfig {
@@ -138,6 +167,8 @@ fn campaign(args: &[String], budget: usize) {
         }),
         oracles: if oracles { OracleConfig::on() } else { OracleConfig::Off },
         batch: !no_batch,
+        schedule,
+        repository,
         ..CampaignConfig::default()
     };
     let profile = DialectProfile::build(id);
@@ -200,6 +231,9 @@ fn campaign(args: &[String], budget: usize) {
     println!("{}", telemetry.yields.render_pattern_table());
     println!("{}", telemetry.yields.render_category_table());
     println!("{}", telemetry.curves.render());
+    if !telemetry.epochs.is_empty() {
+        println!("{}", soft_bench::trace::render_epochs(&telemetry.epochs));
+    }
     if let Some(latency) = &run.stage_latency {
         println!("{}", latency.render());
     }
@@ -335,6 +369,76 @@ fn replay(args: &[String]) {
                 std::process::exit(1);
             }
         }
+    }
+}
+
+/// `repro repo <init|ingest|stats|export>` — the persistent seed
+/// repository: one campaign's distilled findings (minimized PoCs plus the
+/// boundary literals inside them) stored as plain files, consumed by later
+/// campaigns via `repro campaign --repo DIR`. Exits `2` on any usage or
+/// I/O error; every subcommand is idempotent.
+fn repo_cmd(args: &[String]) {
+    fn repo_usage() -> ! {
+        eprintln!("usage: repro repo <subcommand>");
+        eprintln!("  repro repo init <dir>");
+        eprintln!("  repro repo ingest <dir> <findings-root>");
+        eprintln!("  repro repo stats <dir>");
+        eprintln!("  repro repo export <dir> [--dialect NAME]");
+        std::process::exit(2);
+    }
+    fn load_or_exit(dir: &std::path::Path) -> SeedRepository {
+        match SeedRepository::load(dir) {
+            Ok(repo) => repo,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(sub) = args.get(1).map(String::as_str) else { repo_usage() };
+    let Some(dir) = args.get(2).map(std::path::Path::new) else { repo_usage() };
+    match sub {
+        "init" => match SeedRepository::init(dir) {
+            Ok(repo) => println!(
+                "repository at {} ({} entries)",
+                repo.root().display(),
+                repo.entries().len()
+            ),
+            Err(e) => {
+                eprintln!("cannot init repository: {e}");
+                std::process::exit(2);
+            }
+        },
+        "ingest" => {
+            let Some(root) = args.get(3) else { repo_usage() };
+            let bundles = match Bundle::read_all(std::path::Path::new(root)) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read findings under {root}: {e}");
+                    std::process::exit(2);
+                }
+            };
+            let mut repo = load_or_exit(dir);
+            match repo.ingest(&bundles) {
+                Ok(stats) => println!(
+                    "ingested {} bundle(s): {} added, {} updated ({} entries total)",
+                    bundles.len(),
+                    stats.added,
+                    stats.updated,
+                    repo.entries().len()
+                ),
+                Err(e) => {
+                    eprintln!("ingest failed: {e}");
+                    std::process::exit(2);
+                }
+            }
+        }
+        "stats" => print!("{}", load_or_exit(dir).stats().render()),
+        "export" => {
+            let dialect = flag_value(args, "--dialect").map(String::as_str);
+            print!("{}", load_or_exit(dir).export(dialect));
+        }
+        _ => repo_usage(),
     }
 }
 

@@ -10,7 +10,7 @@
 //! `tests/telemetry.rs` can pin the output byte for byte.
 
 use soft_dialects::{DialectId, DialectProfile};
-use soft_obs::{GrowthCurves, TraceFile, YieldMetrics};
+use soft_obs::{EpochRealloc, GrowthCurves, TraceFile, YieldMetrics};
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
 
@@ -49,6 +49,57 @@ pub fn render_trace(trace: &TraceFile) -> String {
         let _ = writeln!(out, "{}", yields.render_category_table());
     }
     out.push_str(&rebuild_curves(trace).render());
+    // Scheduler epochs are journaled only by `--schedule` campaigns; static
+    // journals render exactly as before.
+    if !trace.epochs.is_empty() {
+        out.push('\n');
+        out.push_str(&render_epochs(&trace.epochs));
+    }
+    out
+}
+
+/// Renders the feedback scheduler's epoch reallocations: one line per
+/// epoch, listing the top arms by planned quota (`planned/executed` with
+/// the UCB score in milli-units). Deterministic: ties break by the arm's
+/// (pattern, category) order.
+pub fn render_epochs(epochs: &[EpochRealloc]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "scheduler epochs: {}", epochs.len());
+    let _ = writeln!(
+        out,
+        "{:<6} {:>9} {:>8}  top arms (planned/executed, score milli)",
+        "epoch", "start", "budget"
+    );
+    for e in epochs {
+        let mut arms: Vec<_> = e.allocations.iter().filter(|a| a.planned > 0).collect();
+        arms.sort_by(|a, b| {
+            b.planned.cmp(&a.planned).then_with(|| {
+                (a.pattern.label(), a.category.label())
+                    .cmp(&(b.pattern.label(), b.category.label()))
+            })
+        });
+        let shown = arms
+            .iter()
+            .take(4)
+            .map(|a| {
+                format!(
+                    "{}:{} {}/{} s={}",
+                    a.pattern.label(),
+                    a.category.label(),
+                    a.planned,
+                    a.executed,
+                    a.score_milli
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("  ");
+        let elided = arms.len().saturating_sub(4);
+        let _ = write!(out, "{:<6} {:>9} {:>8}  {shown}", e.epoch, e.start_statement, e.budget);
+        if elided > 0 {
+            let _ = write!(out, "  (+{elided} arms)");
+        }
+        out.push('\n');
+    }
     out
 }
 
@@ -143,6 +194,31 @@ pub fn trace_csv_exports(trace: &TraceFile) -> Vec<(&'static str, String)> {
         let _ = writeln!(bugs, "{},{},{}", b.statements, b.unique_bugs, csv_field(&b.fault_id));
     }
     files.push(("bug_curve.csv", bugs));
+
+    // One row per (epoch, arm) — emitted only for scheduled campaigns, so
+    // static journals export the same file set as before.
+    if !trace.epochs.is_empty() {
+        let mut allocs = String::from(
+            "epoch,start_statement,budget,pattern,category,planned,executed,score_milli\n",
+        );
+        for e in &trace.epochs {
+            for a in &e.allocations {
+                let _ = writeln!(
+                    allocs,
+                    "{},{},{},{},{},{},{},{}",
+                    e.epoch,
+                    e.start_statement,
+                    e.budget,
+                    a.pattern.label(),
+                    csv_field(a.category.label()),
+                    a.planned,
+                    a.executed,
+                    a.score_milli
+                );
+            }
+        }
+        files.push(("epoch_allocations.csv", allocs));
+    }
     files
 }
 

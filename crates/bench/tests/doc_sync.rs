@@ -1,0 +1,62 @@
+//! Documentation-sync guard: the operator guide (`docs/CAMPAIGNS.md`) must
+//! cover the entire `repro` CLI surface.
+//!
+//! The binary and `repro help` are driven by the static command table in
+//! `soft_bench::cli`; this test walks the same table against the guide, so
+//! adding a subcommand or flag without documenting it — or documenting a
+//! flag the binary no longer accepts under a renamed token — fails the
+//! build rather than shipping drift.
+
+use soft_bench::{COMMANDS, EXIT_CODES};
+
+fn operator_guide() -> String {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../docs/CAMPAIGNS.md");
+    std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("docs/CAMPAIGNS.md must exist next to the CLI it documents: {e}"))
+}
+
+/// Every subcommand name, its usage line, and every flag token from the
+/// CLI table appear verbatim in the guide.
+#[test]
+fn every_subcommand_and_flag_is_documented() {
+    let doc = operator_guide();
+    for cmd in COMMANDS {
+        assert!(
+            doc.contains(cmd.name),
+            "subcommand `{}` is missing from docs/CAMPAIGNS.md",
+            cmd.name
+        );
+        assert!(
+            doc.contains(cmd.usage),
+            "usage line `repro {}` is missing from docs/CAMPAIGNS.md",
+            cmd.usage
+        );
+        for f in cmd.flags {
+            assert!(
+                doc.contains(f.flag),
+                "flag `{}` of `repro {}` is missing from docs/CAMPAIGNS.md",
+                f.flag,
+                cmd.name
+            );
+        }
+    }
+}
+
+/// The guide documents the full exit-code contract.
+#[test]
+fn every_exit_code_is_documented() {
+    let doc = operator_guide();
+    for e in EXIT_CODES {
+        assert!(
+            doc.contains(&format!("`{}`", e.code)),
+            "exit code {} is missing from docs/CAMPAIGNS.md",
+            e.code
+        );
+    }
+    for needle in ["exit code", "Exit code"] {
+        if doc.contains(needle) {
+            return;
+        }
+    }
+    panic!("docs/CAMPAIGNS.md must have an exit-code section");
+}

@@ -54,16 +54,19 @@ use crate::collect::{self, Collection};
 use crate::oracle::{self, OracleConfig, OracleKind, OracleOptions};
 use crate::patterns::{self, GenCtx, GeneratedCase};
 use crate::report::{BugFinding, CampaignReport, FindingKind, ShardStats};
+use crate::schedule::{ArmId, ArmReward, Bandit, ScheduleConfig, ScheduleOptions};
 use soft_dialects::DialectProfile;
 use soft_engine::{
     BatchArena, Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, ShapeKey,
     SqlError, Stage, MIN_BATCH_GROUP,
 };
 use soft_obs::{
-    LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency, StatementEvent, TelemetryConfig,
-    TelemetryOptions, WatchdogConfig, WatchdogReport,
+    ArmAlloc, EpochRealloc, LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency,
+    StatementEvent, TelemetryConfig, TelemetryOptions, WatchdogConfig, WatchdogReport,
 };
-use std::collections::{HashMap, HashSet};
+use soft_types::category::FunctionCategory;
+use std::collections::{BTreeMap, HashMap, HashSet};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
@@ -112,6 +115,21 @@ pub struct CampaignConfig {
     /// report is byte-identical with it on or off, at any worker count —
     /// only statements/sec changes.
     pub batch: bool,
+    /// Budget scheduling knob (default [`ScheduleConfig::Off`], the static
+    /// round-robin planner). When on, the statement budget is split into
+    /// epochs and a UCB bandit reallocates each epoch's share across
+    /// (pattern × seed-category) arms from the merged telemetry of prior
+    /// epochs — plan-then-execute, so the stream stays a pure function of
+    /// the configuration and reports remain byte-identical at any worker
+    /// count. The epoch decisions land in
+    /// [`soft_obs::CampaignTelemetry::epochs`] when telemetry is on.
+    pub schedule: ScheduleConfig,
+    /// A persistent seed repository to consume (default `None`). When set,
+    /// same-dialect PoCs join the phase-1 seed corpus (regression
+    /// tripwires) and every entry's boundary literals — cross-dialect —
+    /// extend the P1.1 generation pool. An unreadable repository is
+    /// reported on stderr and skipped; the campaign still runs.
+    pub repository: Option<PathBuf>,
 }
 
 impl Default for CampaignConfig {
@@ -125,6 +143,8 @@ impl Default for CampaignConfig {
             telemetry: TelemetryConfig::Off,
             oracles: OracleConfig::Off,
             batch: true,
+            schedule: ScheduleConfig::Off,
+            repository: None,
         }
     }
 }
@@ -198,17 +218,20 @@ struct Plan {
 }
 
 impl Plan {
-    /// Parses every planned statement once against the template engine.
-    /// Serial by design: the prepared stream (like the plan itself) must be
-    /// independent of the worker count, and recording per-case wall-clock
-    /// here keeps the parse histogram deterministic in sample count.
+    /// Parses every not-yet-prepared planned statement once against the
+    /// template engine — incremental, so the scheduler's epoch loop can
+    /// extend the plan and prepare only the new tail. Serial by design: the
+    /// prepared stream (like the plan itself) must be independent of the
+    /// worker count, and recording per-case wall-clock here keeps the parse
+    /// histogram deterministic in sample count.
     fn prepare(&mut self, template: &Engine, timed: bool) {
-        self.prepared.reserve_exact(self.cases.len());
-        self.shapes.reserve_exact(self.cases.len());
+        let start = self.prepared.len();
+        self.prepared.reserve_exact(self.cases.len() - start);
+        self.shapes.reserve_exact(self.cases.len() - start);
         if timed {
-            self.prepare_latency.reserve_exact(self.cases.len());
+            self.prepare_latency.reserve_exact(self.cases.len() - start);
         }
-        for case in &self.cases {
+        for case in &self.cases[start..] {
             let t = timed.then(Instant::now);
             let prepared = template.prepare(&case.sql);
             if let Some(t) = t {
@@ -372,11 +395,31 @@ pub fn run_soft_parallel_live(
     let workers = n_workers.max(1);
     let telemetry_opts = config.telemetry.options();
     let oracle_opts = config.oracles.options();
-    let collection = collect::collect(profile);
-    let ctx = GenCtx::new(&collection);
+    let mut collection = collect::collect(profile);
+
+    // The persistent repository (when configured): same-dialect PoCs join
+    // the phase-1 seed corpus as regression tripwires, and every entry's
+    // boundary literals — whatever dialect surfaced them — widen the
+    // generation pool. Both extensions happen before planning, so the
+    // stream stays a pure function of (profile, config, repository).
+    let repo = config.repository.as_ref().and_then(|root| {
+        match crate::repo::SeedRepository::load(root) {
+            Ok(r) => Some(r),
+            Err(e) => {
+                eprintln!("soft-core: ignoring repository {}: {e}", root.display());
+                None
+            }
+        }
+    });
+    if let Some(repo) = &repo {
+        repo.extend_seeds(profile.id.name(), &mut collection);
+    }
+    let mut ctx = GenCtx::new(&collection);
+    if let Some(repo) = &repo {
+        repo.extend_pool(&mut ctx);
+    }
     let prep: Vec<String> = collection.preparation.iter().map(|s| s.to_string()).collect();
 
-    let mut plan = build_plan(&collection, &ctx, config, workers);
     let fault_index = build_fault_index(profile);
 
     // The shard template: a fresh engine with preparation replayed. Cloning
@@ -387,86 +430,76 @@ pub fn run_soft_parallel_live(
         let _ = template.execute(sql);
     }
 
-    // Parse-once: compile the planned stream against the template. From here
-    // on the shards only execute ASTs.
-    plan.prepare(&template, telemetry_opts.is_some());
-
-    let shard_size = config.shard_statements.max(1);
-    let shards: Vec<(usize, usize)> = (0..plan.cases.len())
-        .step_by(shard_size)
-        .map(|start| (start, shard_size.min(plan.cases.len() - start)))
-        .collect();
-
     // Resolve the live registry: the caller's, or a private one when only
     // the watchdog is configured (heartbeats still need somewhere to live).
     let metrics: Option<Arc<LiveMetrics>> = live
         .metrics
         .clone()
         .or_else(|| live.watchdog.map(|_| Arc::new(LiveMetrics::new())));
-    if let Some(m) = &metrics {
-        m.begin_campaign(profile.id.name(), plan.cases.len(), shards.len(), workers);
-    }
     let live_metrics: Option<&LiveMetrics> = metrics.as_deref();
 
-    // One scope hosts the watchdog and the shard workers. The workers are
-    // joined explicitly first; only then is the stop flag raised and the
-    // watchdog joined — so the watchdog observes the whole campaign and the
-    // scope cannot deadlock on it.
+    // One scope hosts the watchdog and (via `execute_shards`) the shard
+    // workers. The shard work finishes first; only then is the stop flag
+    // raised and the watchdog joined — so the watchdog observes the whole
+    // campaign and the scope cannot deadlock on it.
     let stop = AtomicBool::new(false);
     let stop_ref = &stop;
-    let next = AtomicUsize::new(0);
-    let done: Mutex<Vec<ShardOutcome>> = Mutex::new(Vec::with_capacity(shards.len()));
-    let watchdog_report: Option<WatchdogReport> = std::thread::scope(|scope| {
+    let (plan, mut outcomes, epochs, watchdog_report) = std::thread::scope(|scope| {
         let watchdog_handle = live.watchdog.map(|cfg| {
             let registry = Arc::clone(metrics.as_ref().expect("watchdog implies a registry"));
             scope.spawn(move || soft_obs::watchdog::run(&registry, stop_ref, cfg))
         });
-        if workers == 1 || shards.len() <= 1 {
-            let mut results = done.lock().expect("shard results poisoned");
-            for (i, &(start, len)) in shards.iter().enumerate() {
-                results.push(run_shard(
+        let (plan, outcomes, epochs) = match config.schedule.options() {
+            // The static planner: one plan, one prepare pass, one shard
+            // decomposition — the reference semantics.
+            None => {
+                let mut plan = build_plan(&collection, &ctx, config, workers);
+                // Parse-once: compile the planned stream against the
+                // template. From here on the shards only execute ASTs.
+                plan.prepare(&template, telemetry_opts.is_some());
+                let shard_size = config.shard_statements.max(1);
+                let shards: Vec<(usize, usize, usize)> = (0..plan.cases.len())
+                    .step_by(shard_size)
+                    .enumerate()
+                    .map(|(i, start)| (i, start, shard_size.min(plan.cases.len() - start)))
+                    .collect();
+                if let Some(m) = live_metrics {
+                    m.begin_campaign(profile.id.name(), plan.cases.len(), shards.len(), workers);
+                }
+                let outcomes = execute_shards(
                     profile,
                     &fault_index,
                     &template,
                     &plan,
-                    start..start + len,
-                    i,
+                    &shards,
+                    workers,
                     telemetry_opts,
                     oracle_opts,
                     live_metrics,
                     config.batch,
-                ));
+                );
+                (plan, outcomes, Vec::new())
             }
-        } else {
-            let handles: Vec<_> = (0..workers.min(shards.len()))
-                .map(|_| {
-                    scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        let Some(&(start, len)) = shards.get(i) else { break };
-                        let outcome = run_shard(
-                            profile,
-                            &fault_index,
-                            &template,
-                            &plan,
-                            start..start + len,
-                            i,
-                            telemetry_opts,
-                            oracle_opts,
-                            live_metrics,
-                            config.batch,
-                        );
-                        done.lock().expect("shard results poisoned").push(outcome);
-                    })
-                })
-                .collect();
-            for h in handles {
-                h.join().expect("shard worker panicked");
-            }
-        }
+            // The feedback scheduler: plan-then-execute per epoch, budget
+            // reallocated from the deterministic telemetry of prior epochs.
+            Some(sched) => run_scheduled(
+                profile,
+                &collection,
+                &ctx,
+                config,
+                sched,
+                workers,
+                &fault_index,
+                &template,
+                telemetry_opts,
+                oracle_opts,
+                live_metrics,
+            ),
+        };
         stop.store(true, Ordering::Release);
-        watchdog_handle.map(|h| h.join().expect("watchdog thread panicked"))
+        let wd = watchdog_handle.map(|h| h.join().expect("watchdog thread panicked"));
+        (plan, outcomes, epochs, wd)
     });
-    let mut outcomes = done.into_inner().expect("shard results poisoned");
     // Completion order is scheduler-dependent; merge order is not.
     outcomes.sort_by_key(|o| o.stats.shard);
 
@@ -498,16 +531,26 @@ pub fn run_soft_parallel_live(
         });
         stats.push(outcome.stats.clone());
         if let Some(t) = outcome.telemetry.take() {
-            shard_telemetry.push(t);
+            // The scheduler runs an internal observer even when user
+            // telemetry is off (it needs the events to score arms); those
+            // recordings are dropped here so scheduling leaves a
+            // telemetry-off report untouched.
+            if telemetry_opts.is_some() {
+                shard_telemetry.push(t);
+            }
         }
     }
 
+    // The synthetic trailing shard index for campaign-level oracle events:
+    // one past the last executed shard, whatever decomposition (static or
+    // epoch-scheduled) produced the stream.
+    let total_shards = stats.last().map(|s| s.shard + 1).unwrap_or(0);
+
     // Campaign-level oracles: the pivot probes and the cross-dialect
     // differential suite run once, after the planned stream, and their
-    // events land in a synthetic trailing shard (index `shards.len()`) so
-    // the journal stays globally ordered. Everything here is a pure
-    // function of (profile, template), so the report stays byte-identical
-    // across worker counts.
+    // events land in the synthetic trailing shard so the journal stays
+    // globally ordered. Everything here is a pure function of (profile,
+    // template), so the report stays byte-identical across worker counts.
     if let Some(opts) = oracle_opts {
         let mut hits: Vec<(String, oracle::LogicBug, String)> = Vec::new();
         if opts.pivot {
@@ -522,7 +565,7 @@ pub fn run_soft_parallel_live(
             if telemetry_opts.is_some() {
                 oracle_events.push(StatementEvent {
                     index,
-                    shard: shards.len(),
+                    shard: total_shards,
                     seed: None,
                     pattern: None,
                     function: None,
@@ -552,7 +595,7 @@ pub fn run_soft_parallel_live(
         }
         if !oracle_events.is_empty() {
             shard_telemetry.push(ShardTelemetry {
-                shard: shards.len(),
+                shard: total_shards,
                 events: oracle_events,
                 snapshots: Vec::new(),
                 final_coverage: Coverage::new(),
@@ -567,12 +610,16 @@ pub fn run_soft_parallel_live(
         None => (None, None),
         Some(opts) => {
             let registry = template.registry();
-            let (merged, mut latency) = soft_obs::telemetry::merge_shards(
+            let (mut merged, mut latency) = soft_obs::telemetry::merge_shards(
                 shard_telemetry,
                 &plan.generated_per_pattern,
                 opts.snapshot_interval.max(1),
                 |name| registry.resolve(name).map(|d| d.category),
             );
+            // Stamp the scheduler's epoch decisions into the deterministic
+            // surface: they are identical at any worker count, so they sit
+            // inside report equality like everything else merged here.
+            merged.epochs = epochs;
             for d in &plan.generate_latency {
                 latency.generate.record(*d);
             }
@@ -641,6 +688,448 @@ pub fn run_soft_parallel_live(
     }
 }
 
+/// Executes a set of planned shards — `(shard index, start, len)` triples —
+/// with up to `workers` threads, returning the outcomes sorted by shard
+/// index. Shard indices are caller-assigned so the scheduler's epoch loop
+/// can keep one global shard numbering across epochs; the static path
+/// numbers them `0..n` in a single call. Work-stealing completion order
+/// never leaks: outcomes are sorted before returning.
+fn execute_shards(
+    profile: &DialectProfile,
+    fault_index: &FaultIndex<'_>,
+    template: &Engine,
+    plan: &Plan,
+    shards: &[(usize, usize, usize)],
+    workers: usize,
+    telemetry: Option<&TelemetryOptions>,
+    oracles: Option<&OracleOptions>,
+    live: Option<&LiveMetrics>,
+    batch: bool,
+) -> Vec<ShardOutcome> {
+    if workers == 1 || shards.len() <= 1 {
+        return shards
+            .iter()
+            .map(|&(index, start, len)| {
+                run_shard(
+                    profile,
+                    fault_index,
+                    template,
+                    plan,
+                    start..start + len,
+                    index,
+                    telemetry,
+                    oracles,
+                    live,
+                    batch,
+                )
+            })
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let done: Mutex<Vec<ShardOutcome>> = Mutex::new(Vec::with_capacity(shards.len()));
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers.min(shards.len()))
+            .map(|_| {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(&(index, start, len)) = shards.get(i) else { break };
+                    let outcome = run_shard(
+                        profile,
+                        fault_index,
+                        template,
+                        plan,
+                        start..start + len,
+                        index,
+                        telemetry,
+                        oracles,
+                        live,
+                        batch,
+                    );
+                    done.lock().expect("shard results poisoned").push(outcome);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("shard worker panicked");
+        }
+    });
+    let mut outcomes = done.into_inner().expect("shard results poisoned");
+    outcomes.sort_by_key(|o| o.stats.shard);
+    outcomes
+}
+
+/// Root function of each seed statement (the first collected function
+/// expression), interned once — the journal's "target function" for
+/// non-crashing statements and the scheduler's arm attribution.
+fn seed_functions_of(collection: &Collection) -> Vec<Option<Arc<str>>> {
+    collection
+        .seeds
+        .iter()
+        .map(|s| {
+            soft_parser::visit::collect_function_exprs(s).first().map(|f| Arc::from(f.name.as_str()))
+        })
+        .collect()
+}
+
+/// The feedback scheduler (plan-then-execute). The statement budget is
+/// split into `sched.epochs` epochs; each epoch is *planned* from per-arm
+/// quotas the bandit computed out of the merged, deterministic telemetry of
+/// the epochs before it, prepared incrementally, and executed on shards
+/// that continue the campaign's global numbering. An arm is a
+/// (pattern × seed-function-category) pair.
+///
+/// Every scheduling input is event-derived and therefore a pure function of
+/// (profile, config, repository): identical at any worker count, with batch
+/// execution on or off, and whether or not user telemetry is enabled (when
+/// it is not, an internal observer records events for scoring and the merge
+/// discards them). The adaptive stream — and with it the report — stays
+/// byte-identical however the campaign is parallelised.
+fn run_scheduled(
+    profile: &DialectProfile,
+    collection: &Collection,
+    ctx: &GenCtx,
+    config: &CampaignConfig,
+    sched: &ScheduleOptions,
+    workers: usize,
+    fault_index: &FaultIndex<'_>,
+    template: &Engine,
+    telemetry: Option<&TelemetryOptions>,
+    oracles: Option<&OracleOptions>,
+    live: Option<&LiveMetrics>,
+) -> (Plan, Vec<ShardOutcome>, Vec<EpochRealloc>) {
+    let seed_functions = seed_functions_of(collection);
+    // Arm attribution: the category of each seed's root function (the
+    // registry's view), `System` when the seed has no resolvable function.
+    let seed_categories: Vec<FunctionCategory> = seed_functions
+        .iter()
+        .map(|f| {
+            f.as_deref()
+                .and_then(|name| profile.registry.resolve(name).map(|d| d.category))
+                .unwrap_or(FunctionCategory::System)
+        })
+        .collect();
+
+    let active: Vec<PatternId> = match &config.patterns {
+        None => PATTERN_ORDER.to_vec(),
+        Some(ps) => PATTERN_ORDER.iter().copied().filter(|p| ps.contains(p)).collect(),
+    };
+    let (per_pattern, generate_latency) =
+        generate_cases(collection, ctx, config, &active, workers);
+    let generated_per_pattern: Vec<(PatternId, usize)> =
+        active.iter().zip(&per_pattern).map(|(&p, cases)| (p, cases.len())).collect();
+
+    // Partition the generated cases into arm queues, keyed (pattern
+    // position, category) so the arm order refines the static planner's
+    // pattern order. Within a queue, cases keep their generation order.
+    let mut by_arm: BTreeMap<(usize, FunctionCategory), Vec<(GeneratedCase, usize)>> =
+        BTreeMap::new();
+    for (pi, cases) in per_pattern.into_iter().enumerate() {
+        for (case, seed) in cases {
+            let category =
+                seed_categories.get(seed).copied().unwrap_or(FunctionCategory::System);
+            by_arm.entry((pi, category)).or_default().push((case, seed));
+        }
+    }
+    let arms: Vec<ArmId> = by_arm
+        .keys()
+        .map(|&(pi, category)| ArmId { pattern: active[pi], category })
+        .collect();
+    let queues: Vec<Vec<(GeneratedCase, usize)>> = by_arm.into_values().collect();
+    let arm_of: HashMap<(PatternId, FunctionCategory), usize> = arms
+        .iter()
+        .enumerate()
+        .map(|(a, arm)| ((arm.pattern, arm.category), a))
+        .collect();
+
+    let budget = config.max_statements;
+    let mut plan = Plan {
+        cases: Vec::new(),
+        prepared: Vec::new(),
+        shapes: Vec::new(),
+        generated_per_pattern,
+        seed_functions,
+        generate_latency,
+        prepare_latency: Vec::new(),
+    };
+    let mut executed: HashSet<String> = HashSet::new();
+
+    // Phase 1: the seed corpus opens epoch 0, exactly like the static
+    // planner — seeds prime coverage and are not subject to arm quotas.
+    for (si, stmt) in collection.seeds.iter().enumerate() {
+        if plan.cases.len() >= budget {
+            break;
+        }
+        let sql = stmt.to_string();
+        if executed.insert(sql.clone()) {
+            plan.cases.push(PlannedCase { sql, pattern: None, seed: si });
+        }
+    }
+
+    let n_epochs = sched.epochs.max(1);
+    let shard_size = config.shard_statements.max(1);
+    if let Some(m) = live {
+        // Heartbeat slots need an upper bound before execution: each epoch
+        // adds at most one partial shard beyond `len / shard_size`.
+        m.begin_campaign(
+            profile.id.name(),
+            budget,
+            budget / shard_size + n_epochs + 1,
+            workers,
+        );
+    }
+
+    // When user telemetry is off, the scheduler still needs per-statement
+    // events to score arms — an internal observer with an unreachable
+    // snapshot interval and no journal records them, and the merge drops
+    // them from the report.
+    let internal =
+        TelemetryOptions { snapshot_interval: usize::MAX / 2, journal_path: None };
+    let effective: &TelemetryOptions = telemetry.unwrap_or(&internal);
+
+    let mut bandit = Bandit::new(arms.len(), sched.clone());
+    let mut cursors = vec![0usize; queues.len()];
+    let mut outcomes: Vec<ShardOutcome> = Vec::new();
+    let mut epochs_out: Vec<EpochRealloc> = Vec::new();
+    let mut shard_base = 0usize;
+    // The executed frontier: everything planned before it has run. Epoch
+    // 0's execution range starts at 0 — it carries the seed corpus in
+    // front of its own quota.
+    let mut exec_from = 0usize;
+    let mut seen_faults: HashSet<Arc<str>> = HashSet::new();
+    let mut seen_functions: HashSet<Arc<str>> = HashSet::new();
+
+    for epoch in 0..n_epochs {
+        // Epoch k owns the budget slice up to `budget * (k+1) / n`; planning
+        // shortfalls (deduplication, dry queues) roll into the next epoch.
+        let target = budget * (epoch + 1) / n_epochs;
+        let epoch_start = plan.cases.len();
+        let epoch_budget = target.saturating_sub(epoch_start);
+        let available: Vec<usize> =
+            cursors.iter().zip(&queues).map(|(&c, q)| q.len() - c).collect();
+        if available.iter().all(|&n| n == 0) {
+            break;
+        }
+        if epoch_budget == 0 {
+            continue;
+        }
+
+        let scores = bandit.scores_milli();
+        let quotas = bandit.allocate(epoch_budget, &available);
+        // Plan the epoch: round-robin across arms up to each arm's quota
+        // (duplicates advance the cursor without consuming quota, the static
+        // planner's rule), then a spill pass tops the epoch up from any arm
+        // with cases left so a starved quota cannot shrink the campaign.
+        let mut planned = vec![0usize; arms.len()];
+        plan_round_robin(
+            &mut plan.cases,
+            &mut executed,
+            &queues,
+            &mut cursors,
+            &mut planned,
+            &quotas,
+            target,
+        );
+        if plan.cases.len() < target {
+            let spill = vec![usize::MAX; arms.len()];
+            plan_round_robin(
+                &mut plan.cases,
+                &mut executed,
+                &queues,
+                &mut cursors,
+                &mut planned,
+                &spill,
+                target,
+            );
+        }
+
+        // Prepare only the epoch's tail (the plan's parse-once discipline is
+        // incremental), then execute everything planned but not yet run —
+        // the epoch's quota, plus the seed corpus in epoch 0 — on shards
+        // continuing the global numbering.
+        plan.prepare(template, telemetry.is_some());
+        let epoch_shards: Vec<(usize, usize, usize)> = (exec_from..plan.cases.len())
+            .step_by(shard_size)
+            .enumerate()
+            .map(|(i, start)| {
+                (shard_base + i, start, shard_size.min(plan.cases.len() - start))
+            })
+            .collect();
+        shard_base += epoch_shards.len();
+        exec_from = plan.cases.len();
+        let epoch_outcomes = execute_shards(
+            profile,
+            fault_index,
+            template,
+            &plan,
+            &epoch_shards,
+            workers,
+            Some(effective),
+            oracles,
+            live,
+            config.batch,
+        );
+
+        // Score the epoch from its merged events and let the bandit observe
+        // before the next epoch is planned.
+        let rewards = fold_rewards(
+            &epoch_outcomes,
+            &arm_of,
+            &seed_categories,
+            arms.len(),
+            &mut seen_faults,
+            &mut seen_functions,
+        );
+        bandit.observe(&rewards);
+
+        epochs_out.push(EpochRealloc {
+            epoch,
+            start_statement: outcomes
+                .last()
+                .map(|o| o.stats.start_offset + o.stats.statements + 1)
+                .unwrap_or(1),
+            budget: epoch_budget,
+            allocations: arms
+                .iter()
+                .enumerate()
+                .map(|(a, arm)| ArmAlloc {
+                    pattern: arm.pattern,
+                    category: arm.category,
+                    planned: quotas[a],
+                    executed: planned[a],
+                    score_milli: scores[a],
+                })
+                .collect(),
+        });
+        outcomes.extend(epoch_outcomes);
+        if plan.cases.len() >= budget {
+            break;
+        }
+    }
+    // Flush anything planned but never executed — possible when the budget
+    // is smaller than the seed corpus or every queue went dry before an
+    // epoch got to run.
+    if exec_from < plan.cases.len() {
+        plan.prepare(template, telemetry.is_some());
+        let tail: Vec<(usize, usize, usize)> = (exec_from..plan.cases.len())
+            .step_by(shard_size)
+            .enumerate()
+            .map(|(i, start)| {
+                (shard_base + i, start, shard_size.min(plan.cases.len() - start))
+            })
+            .collect();
+        outcomes.extend(execute_shards(
+            profile,
+            fault_index,
+            template,
+            &plan,
+            &tail,
+            workers,
+            Some(effective),
+            oracles,
+            live,
+            config.batch,
+        ));
+    }
+    (plan, outcomes, epochs_out)
+}
+
+/// One planning pass of the scheduler: round-robin across arm queues,
+/// pushing each arm's next not-yet-planned case until the arm reaches its
+/// quota, every queue is dry, or the plan reaches `target`. Duplicates
+/// advance the cursor without consuming quota — the same rule the static
+/// planner applies — so a quota buys `quota` *distinct* statements when the
+/// queue has them. Pure: no engine, no clock, no worker count.
+fn plan_round_robin(
+    cases: &mut Vec<PlannedCase>,
+    executed: &mut HashSet<String>,
+    queues: &[Vec<(GeneratedCase, usize)>],
+    cursors: &mut [usize],
+    planned: &mut [usize],
+    quotas: &[usize],
+    target: usize,
+) {
+    'outer: loop {
+        let mut progressed = false;
+        for a in 0..queues.len() {
+            if cases.len() >= target {
+                break 'outer;
+            }
+            if planned[a] >= quotas[a] {
+                continue;
+            }
+            while cursors[a] < queues[a].len() {
+                let (case, seed) = &queues[a][cursors[a]];
+                cursors[a] += 1;
+                if executed.insert(case.sql.clone()) {
+                    cases.push(PlannedCase {
+                        sql: case.sql.clone(),
+                        pattern: Some(case.pattern),
+                        seed: *seed,
+                    });
+                    planned[a] += 1;
+                    progressed = true;
+                    break;
+                }
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+}
+
+/// Folds one epoch's shard telemetry into per-arm rewards. Events are
+/// walked in global statement order (shards sorted, indices monotonic), so
+/// "first sighting" credit for faults and target functions is deterministic;
+/// seed replays and oracle events carry no pattern and update the seen-sets
+/// without crediting an arm.
+fn fold_rewards(
+    outcomes: &[ShardOutcome],
+    arm_of: &HashMap<(PatternId, FunctionCategory), usize>,
+    seed_categories: &[FunctionCategory],
+    n_arms: usize,
+    seen_faults: &mut HashSet<Arc<str>>,
+    seen_functions: &mut HashSet<Arc<str>>,
+) -> Vec<ArmReward> {
+    let mut rewards = vec![ArmReward::default(); n_arms];
+    let mut events: Vec<&StatementEvent> = outcomes
+        .iter()
+        .filter_map(|o| o.telemetry.as_ref())
+        .flat_map(|t| t.events.iter())
+        .collect();
+    events.sort_by_key(|e| e.index);
+    for e in events {
+        let new_fault =
+            e.fault_id.as_ref().is_some_and(|id| seen_faults.insert(Arc::clone(id)));
+        let new_function =
+            e.function.as_ref().is_some_and(|f| seen_functions.insert(Arc::clone(f)));
+        let Some(&a) = e.pattern.and_then(|p| {
+            let category = e
+                .seed
+                .and_then(|s| seed_categories.get(s).copied())
+                .unwrap_or(FunctionCategory::System);
+            arm_of.get(&(p, category))
+        }) else {
+            continue;
+        };
+        let r = &mut rewards[a];
+        r.executed += 1;
+        match e.outcome {
+            OutcomeClass::Crash => r.crashes += 1,
+            OutcomeClass::LogicBug => r.logic_bugs += 1,
+            OutcomeClass::Error => r.errors += 1,
+            OutcomeClass::Ok | OutcomeClass::ResourceLimit => {}
+        }
+        if new_fault {
+            r.unique_bugs += 1;
+        }
+        if new_function {
+            r.new_functions += 1;
+        }
+    }
+    rewards
+}
+
 /// Plans the exact statement stream the campaign executes: phase-1 seeds,
 /// then the round-robin over per-pattern generated cases, globally
 /// deduplicated and truncated at the budget. Pure — no engine involved — so
@@ -656,13 +1145,7 @@ fn build_plan(
 
     // Seed provenance for the event journal: the root (first collected)
     // function expression of each seed statement, interned once.
-    let seed_functions: Vec<Option<Arc<str>>> = collection
-        .seeds
-        .iter()
-        .map(|s| {
-            soft_parser::visit::collect_function_exprs(s).first().map(|f| Arc::from(f.name.as_str()))
-        })
-        .collect();
+    let seed_functions = seed_functions_of(collection);
 
     // Phase 1: the seeds themselves (they should be crash-free, but they
     // count toward the budget and they prime coverage).

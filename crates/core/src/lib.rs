@@ -8,6 +8,13 @@
 //! (execute, watch for crash outcomes, deduplicate by crash signature,
 //! restart the target after each crash).
 //!
+//! Two campaign-steering layers sit on top of the pipeline: [`schedule`]
+//! (the epoch-based bandit that reallocates the statement budget across
+//! (pattern × seed-category) arms from the deterministic telemetry of prior
+//! epochs) and [`repo`] (the persistent seed repository that feeds one
+//! campaign's distilled findings — PoCs and boundary literals — into the
+//! next, across dialects).
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -30,7 +37,9 @@ pub mod minimize;
 pub mod oracle;
 pub mod patterns;
 pub mod pool;
+pub mod repo;
 pub mod report;
+pub mod schedule;
 
 pub use campaign::{
     default_workers, run_campaign, run_generator, run_soft, run_soft_parallel,
@@ -40,7 +49,9 @@ pub use campaign::{
 pub use forensics::{bundle_finding, replay_all, replay_bundle, write_campaign_bundles};
 pub use oracle::{LogicBug, OracleConfig, OracleKind, OracleOptions};
 pub use patterns::{GenCtx, GeneratedCase};
+pub use repo::{IngestStats, RepoEntry, RepoStats, SeedRepository};
 pub use report::{render_table4, BugFinding, CampaignReport, FindingKind, ShardStats};
+pub use schedule::{ArmId, ArmReward, Bandit, ScheduleConfig, ScheduleOptions};
 // The telemetry vocabulary, re-exported so campaign callers need not name
 // `soft-obs` directly.
 pub use soft_obs::{CampaignTelemetry, StageLatency, TelemetryConfig, TelemetryOptions};

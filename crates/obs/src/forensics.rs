@@ -214,8 +214,10 @@ pub fn bucket_key(dialect_key: &str, stage: &str, kind: &str, function: Option<&
 }
 
 /// Replaces path-hostile characters so a fault id is usable as a directory
-/// name on any filesystem.
-fn sanitize_dir_name(fault_id: &str) -> String {
+/// name on any filesystem. Public because the seed repository
+/// (`soft_core::repo`) derives its entry directories from fault ids with
+/// the same rule, so a bundle and its repository entry always share a name.
+pub fn sanitize_dir_name(fault_id: &str) -> String {
     let cleaned: String = fault_id
         .chars()
         .map(|c| if c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.') { c } else { '_' })

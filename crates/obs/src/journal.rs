@@ -15,6 +15,7 @@
 use crate::curve::CoveragePoint;
 use crate::event::{OutcomeClass, StatementEvent};
 use crate::json::{self, JsonValue};
+use crate::schedule::EpochRealloc;
 use soft_engine::PatternId;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -104,6 +105,9 @@ pub struct TraceFile {
     pub journal: Journal,
     /// Coverage snapshots, in statement order.
     pub coverage: Vec<CoveragePoint>,
+    /// Scheduler epoch reallocations, in epoch order (empty for statically
+    /// scheduled campaigns and for journals written before the scheduler).
+    pub epochs: Vec<EpochRealloc>,
 }
 
 impl TraceFile {
@@ -137,6 +141,19 @@ impl TraceFile {
                     out.generated.push((pattern, cases));
                 }
                 "stmt" => events.push(parse_event(&obj, lineno + 1)?),
+                "epoch" => {
+                    let (header, alloc) = EpochRealloc::parse_record(&obj, lineno + 1)?;
+                    match out.epochs.last_mut() {
+                        Some(last) if last.epoch == header.epoch => {
+                            last.allocations.push(alloc)
+                        }
+                        _ => {
+                            let mut epoch = header;
+                            epoch.allocations.push(alloc);
+                            out.epochs.push(epoch);
+                        }
+                    }
+                }
                 "coverage" => out.coverage.push(CoveragePoint {
                     statements: get_usize(&obj, "statements")
                         .ok_or_else(|| format!("line {}: missing statements", lineno + 1))?,
@@ -188,6 +205,9 @@ impl TraceFile {
                 json::num_field("functions", p.functions as i64),
                 json::num_field("branches", p.branches as i64)
             );
+        }
+        for e in &self.epochs {
+            out.push_str(&e.to_jsonl());
         }
         out
     }
@@ -241,6 +261,32 @@ mod tests {
                 ],
             ]),
             coverage: vec![CoveragePoint { statements: 2, functions: 5, branches: 40 }],
+            epochs: vec![
+                EpochRealloc {
+                    epoch: 0,
+                    start_statement: 1,
+                    budget: 2,
+                    allocations: vec![crate::schedule::ArmAlloc {
+                        pattern: PatternId::P1_1,
+                        category: soft_types::category::FunctionCategory::String,
+                        planned: 2,
+                        executed: 2,
+                        score_milli: 0,
+                    }],
+                },
+                EpochRealloc {
+                    epoch: 1,
+                    start_statement: 3,
+                    budget: 1,
+                    allocations: vec![crate::schedule::ArmAlloc {
+                        pattern: PatternId::P2_1,
+                        category: soft_types::category::FunctionCategory::Math,
+                        planned: 1,
+                        executed: 1,
+                        score_milli: 1500,
+                    }],
+                },
+            ],
         }
     }
 

@@ -19,6 +19,8 @@
 //!   growth series (the §7.5 analogue);
 //! * [`telemetry`] — the [`TelemetryConfig`] campaign knob, the per-shard
 //!   recorder, and the deterministic shard merge;
+//! * [`schedule`] — the feedback scheduler's deterministic epoch
+//!   reallocation records ([`EpochRealloc`]), journaled beside the events;
 //! * [`json`] — the hand-rolled std-only JSON helpers behind the JSONL
 //!   sink (the same idiom as `soft-bench`'s `BENCH_*.json` writer).
 //!
@@ -72,6 +74,7 @@ pub mod json;
 pub mod latency;
 pub mod live;
 pub mod metrics;
+pub mod schedule;
 pub mod telemetry;
 pub mod watchdog;
 
@@ -83,6 +86,7 @@ pub use journal::{Journal, TraceFile};
 pub use latency::{LatencyHistogram, StageLatency};
 pub use live::{LiveMetrics, LiveSnapshot};
 pub use metrics::{CategoryYield, PatternYield, YieldMetrics};
+pub use schedule::{ArmAlloc, EpochRealloc};
 pub use telemetry::{
     CampaignTelemetry, ShardTelemetry, TelemetryConfig, TelemetryOptions,
 };

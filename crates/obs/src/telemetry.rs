@@ -16,6 +16,7 @@ use crate::event::StatementEvent;
 use crate::journal::{Journal, TraceFile};
 use crate::latency::StageLatency;
 use crate::metrics::YieldMetrics;
+use crate::schedule::EpochRealloc;
 use soft_engine::{Coverage, PatternId};
 use soft_types::category::FunctionCategory;
 use std::path::PathBuf;
@@ -108,6 +109,10 @@ pub struct CampaignTelemetry {
     pub generated: Vec<(PatternId, usize)>,
     /// The snapshot interval the curves were sampled at.
     pub snapshot_interval: usize,
+    /// The feedback scheduler's epoch reallocations, in epoch order. Empty
+    /// for statically scheduled campaigns. Inside the equality surface:
+    /// scheduling decisions must be identical at any worker count.
+    pub epochs: Vec<EpochRealloc>,
 }
 
 impl CampaignTelemetry {
@@ -120,6 +125,7 @@ impl CampaignTelemetry {
             generated: self.generated.clone(),
             journal: self.journal.clone(),
             coverage: self.curves.coverage.clone(),
+            epochs: self.epochs.clone(),
         }
     }
 }
@@ -169,6 +175,9 @@ pub fn merge_shards(
             curves: GrowthCurves { coverage: coverage_curve, bugs },
             generated: generated.to_vec(),
             snapshot_interval,
+            // The runner stamps scheduler epochs after the merge; a shard
+            // has no say in budget reallocation.
+            epochs: Vec::new(),
         },
         latency,
     )

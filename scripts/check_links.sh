@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# Relative-link checker for the markdown docs. Every inline link in the
+# top-level *.md files and docs/*.md that points into the repository must
+# resolve to an existing file or directory; external links (http, https,
+# mailto) and intra-page #anchors are skipped, so the check is hermetic.
+# Run from anywhere; exits non-zero listing every broken link.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+broken=""
+for f in *.md docs/*.md; do
+    [ -f "$f" ] || continue
+    dir="$(dirname "$f")"
+    # Inline links are `](target)`; strip the wrapper, then any
+    # `"title"` suffix inside the parentheses.
+    targets="$(grep -o '\]([^)]*)' "$f" 2>/dev/null | sed 's/^](//; s/)$//; s/ .*$//' || true)"
+    [ -n "$targets" ] || continue
+    for target in $targets; do
+        case "$target" in
+            '' | 'http://'* | 'https://'* | 'mailto:'* | '#'*) continue ;;
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            broken="$broken$f: $target\n"
+        fi
+    done
+done
+
+if [ -n "$broken" ]; then
+    printf 'check_links: broken relative links:\n' >&2
+    printf "$broken" >&2
+    exit 1
+fi
+echo "check_links: OK"

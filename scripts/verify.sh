@@ -11,6 +11,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "verify: markdown link check (README + docs)"
+sh scripts/check_links.sh
+
 cargo build --release --offline --workspace
 
 echo "verify: test pass 1/2 (default test threads)"
@@ -69,7 +72,41 @@ cargo run --release --offline -q -p soft-bench --bin repro -- \
 replay_out="$(cargo run --release --offline -q -p soft-bench --bin repro -- \
     replay "$findings")"
 printf '%s\n' "$replay_out" | grep -q "^replayed"
-rm -rf "$findings"
+
+echo "verify: scheduler smoke (epoch reallocations journaled)"
+sched_journal="$(mktemp -t soft-sched-XXXXXX).jsonl"
+status=0
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 3000 --schedule --journal "$sched_journal" \
+    > /dev/null || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 3 ] && [ "$status" -ne 4 ]; then
+    echo "verify: scheduled campaign exited $status (expected 0, 3, or 4)" >&2
+    exit 1
+fi
+grep -q '"type": "epoch"' "$sched_journal"
+rm -f "$sched_journal"
+
+echo "verify: repository smoke (repo init + ingest + a campaign consuming it)"
+# The full operator loop: the forensics bundles from the smoke above are
+# distilled into a seed repository, and a follow-up campaign consumes it.
+# The ingested PoCs replay as phase-1 seeds, so the consumer must re-fire
+# the donor's crashes even at a fraction of the donor's budget: exit 3.
+repodir="$(mktemp -d -t soft-repo-XXXXXX)/seedrepo"
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    repo init "$repodir" > /dev/null
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    repo ingest "$repodir" "$findings" > /dev/null
+stats_out="$(cargo run --release --offline -q -p soft-bench --bin repro -- \
+    repo stats "$repodir")"
+printf '%s\n' "$stats_out" | grep -q "entries"
+status=0
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 1000 --repo "$repodir" > /dev/null || status=$?
+if [ "$status" -ne 3 ]; then
+    echo "verify: repo-seeded campaign exited $status (expected 3: ingested PoCs re-fire)" >&2
+    exit 1
+fi
+rm -rf "$findings" "$(dirname "$repodir")"
 
 echo "verify: execute bench + batch regression gate (tiny budget, paired arms)"
 # One short measurement window proves the bench builds, runs every arm,
@@ -82,6 +119,15 @@ echo "verify: execute bench + batch regression gate (tiny budget, paired arms)"
 SOFT_BENCH_WARMUP_MS=1 SOFT_BENCH_MEASURE_MS=50 SOFT_BENCH_JSON_DIR="$PWD" \
     cargo bench --offline -q -p soft-bench --bench execute > /dev/null
 test -s BENCH_execute.json
+
+echo "verify: schedule bench smoke (static vs adaptive arms run end to end)"
+# A tiny budget proves the comparison harness builds and runs every arm;
+# the adaptive-vs-static yield gate only applies at the bench's default
+# budget (see benches/schedule.rs), so the smoke stays fast and unflaky.
+SOFT_SCHED_BENCH_BUDGET=1500 SOFT_BENCH_WARMUP_MS=1 SOFT_BENCH_MEASURE_MS=20 \
+    SOFT_BENCH_JSON_DIR="$PWD" \
+    cargo bench --offline -q -p soft-bench --bench schedule > /dev/null
+test -s BENCH_schedule.json
 
 # Batch-vs-prepared regression gate, read from the drift-robust *paired*
 # samples (the bench alternates the two arms inside one measurement
@@ -119,4 +165,4 @@ for dialect in ClickHouse MonetDB; do
     }' || exit 1
 done
 
-echo "verify: OK (offline build + tests at both thread settings + docs + trace/oracle/forensics smoke + batch bench gate)"
+echo "verify: OK (offline build + tests at both thread settings + docs + links + trace/oracle/forensics/scheduler/repository smoke + bench gates)"

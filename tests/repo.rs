@@ -1,0 +1,119 @@
+//! Integration tests for the persistent seed repository
+//! (`soft_core::repo`): one campaign's distilled findings feed the next.
+//!
+//! The loop under test is the operator workflow end to end: campaign →
+//! forensics bundles → `ingest` → a later campaign consuming the
+//! repository via [`CampaignConfig::repository`]. Same-dialect PoCs replay
+//! as phase-1 seeds (regression tripwires that re-fire immediately);
+//! boundary literals extend the generation pool cross-dialect; and the
+//! repository — like everything else in the planner — never breaks the
+//! worker-count invariance.
+
+use soft_repro::obs::Bundle;
+use soft_repro::dialects::{DialectId, DialectProfile};
+use soft_repro::soft::campaign::{run_soft_parallel, CampaignConfig};
+use soft_repro::soft::{write_campaign_bundles, ScheduleConfig, SeedRepository};
+use std::path::PathBuf;
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("soft-repo-it-{tag}-{}", std::process::id()))
+}
+
+/// Builds a repository from a small ClickHouse campaign's bundles.
+fn seeded_repository(tag: &str) -> (SeedRepository, Vec<String>) {
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: 4_000,
+        per_seed_cap: 8,
+        ..CampaignConfig::default()
+    };
+    let report = run_soft_parallel(&profile, &cfg, 2);
+    assert!(!report.findings.is_empty(), "the donor campaign must find bugs");
+
+    let findings_dir = tmp(&format!("{tag}-findings"));
+    let repo_dir = tmp(&format!("{tag}-repo"));
+    let _ = std::fs::remove_dir_all(&findings_dir);
+    let _ = std::fs::remove_dir_all(&repo_dir);
+    write_campaign_bundles(&profile, &report, &findings_dir).expect("bundles write");
+    let bundles = Bundle::read_all(&findings_dir).expect("bundles read back");
+
+    let mut repo = SeedRepository::init(&repo_dir).expect("repo init");
+    let stats = repo.ingest(&bundles).expect("ingest");
+    assert_eq!(stats.added, bundles.len());
+    std::fs::remove_dir_all(&findings_dir).expect("cleanup findings");
+    let fault_ids = report.findings.iter().map(|f| f.fault_id.clone()).collect();
+    (repo, fault_ids)
+}
+
+/// Same-dialect consumption: every ingested PoC replays as a phase-1 seed,
+/// so a tiny follow-up campaign re-confirms every donor fault — the
+/// regression-tripwire property — even though its own budget is far below
+/// what the donor needed.
+#[test]
+fn repository_pocs_refire_as_regression_seeds() {
+    let (repo, fault_ids) = seeded_repository("refire");
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: 1_500,
+        per_seed_cap: 4,
+        repository: Some(repo.root().to_path_buf()),
+        ..CampaignConfig::default()
+    };
+    let report = run_soft_parallel(&profile, &cfg, 2);
+    for id in &fault_ids {
+        assert!(
+            report.findings.iter().any(|f| &f.fault_id == id),
+            "ingested fault {id} must re-fire from its repository seed; found: {:?}",
+            report.findings.iter().map(|f| &f.fault_id).collect::<Vec<_>>()
+        );
+    }
+    std::fs::remove_dir_all(repo.root()).expect("cleanup repo");
+}
+
+/// Cross-dialect consumption keeps the campaign's determinism contract: a
+/// MonetDB campaign fed ClickHouse-derived literals (with the scheduler on
+/// for good measure) produces a byte-identical report at any worker count,
+/// and the repository changes the stream relative to a repo-less run only
+/// through the planner — never through execution-time state.
+#[test]
+fn repository_consumption_keeps_worker_invariance() {
+    let (repo, _) = seeded_repository("invariance");
+    let profile = DialectProfile::build(DialectId::Monetdb);
+    let cfg = CampaignConfig {
+        max_statements: 2_000,
+        per_seed_cap: 8,
+        repository: Some(repo.root().to_path_buf()),
+        schedule: ScheduleConfig::on(),
+        ..CampaignConfig::default()
+    };
+    let serial = run_soft_parallel(&profile, &cfg, 1);
+    for workers in [3usize, 5] {
+        assert_eq!(
+            run_soft_parallel(&profile, &cfg, workers),
+            serial,
+            "repository + scheduler leaked the worker count into the report"
+        );
+    }
+    std::fs::remove_dir_all(repo.root()).expect("cleanup repo");
+}
+
+/// A missing or malformed repository is reported and skipped — the
+/// campaign still runs, identical to a repo-less one.
+#[test]
+fn unreadable_repository_is_ignored() {
+    let profile = DialectProfile::build(DialectId::Monetdb);
+    let base = CampaignConfig {
+        max_statements: 1_000,
+        per_seed_cap: 4,
+        ..CampaignConfig::default()
+    };
+    let with_missing = CampaignConfig {
+        repository: Some(tmp("does-not-exist")),
+        ..base.clone()
+    };
+    assert_eq!(
+        run_soft_parallel(&profile, &with_missing, 2),
+        run_soft_parallel(&profile, &base, 2),
+        "a skipped repository must leave the campaign untouched"
+    );
+}
