@@ -1,0 +1,53 @@
+//! Flight-recorder overhead: the same campaign with spans off vs armed,
+//! measured as a drift-robust pair (the two arms alternate inside one
+//! measurement window, so the ratio is immune to thermal/frequency drift).
+//!
+//! The span sinks are plain per-shard `Vec` pushes with no locks and no
+//! cross-thread traffic, so arming the recorder must stay within a few
+//! percent of the bare campaign; EXPERIMENTS.md records the measured
+//! ratio and `scripts/verify.sh` gates on ≤ 5% statements/sec overhead.
+//! The report itself is asserted byte-identical up front — spans observe
+//! the run, they never steer it.
+
+use soft_bench::Bench;
+use soft_core::campaign::{run_soft_parallel_live, CampaignConfig, LivePlane};
+use soft_dialects::{DialectId, DialectProfile};
+use std::hint::black_box;
+
+fn main() {
+    let mut b = Bench::new("spans");
+
+    let cfg = CampaignConfig { max_statements: 6_000, per_seed_cap: 8, ..CampaignConfig::default() };
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let off_plane = LivePlane::default();
+    let on_plane = LivePlane { spans: true, ..LivePlane::default() };
+
+    let off_run = run_soft_parallel_live(&profile, &cfg, 2, &off_plane);
+    let on_run = run_soft_parallel_live(&profile, &cfg, 2, &on_plane);
+    assert_eq!(off_run.report, on_run.report, "arming spans changed the campaign report");
+    let spans = on_run.spans.as_ref().expect("spans were armed");
+    assert!(!spans.spans.is_empty(), "armed recorder produced no spans");
+    let statements = off_run.report.statements_executed;
+    println!("spans/recorded: {} spans over {statements} statements", spans.spans.len());
+
+    let (off, on) = b.bench_pair(
+        ("spans/ClickHouse/off", statements as u64, &mut || {
+            let run = run_soft_parallel_live(&profile, &cfg, 2, &off_plane);
+            black_box(run.report.findings.len())
+        }),
+        ("spans/ClickHouse/on", statements as u64, &mut || {
+            let run = run_soft_parallel_live(&profile, &cfg, 2, &on_plane);
+            black_box(run.report.findings.len())
+        }),
+    );
+    let off_rate = off.items_per_sec().expect("throughput declared");
+    let on_rate = on.items_per_sec().expect("throughput declared");
+    println!(
+        "spans/overhead: {:.2}% statements/sec ({:.0} off vs {:.0} on)",
+        100.0 * (off_rate - on_rate) / off_rate,
+        off_rate,
+        on_rate
+    );
+
+    b.finish();
+}

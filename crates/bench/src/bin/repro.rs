@@ -6,15 +6,28 @@
 //!
 //! * `repro campaign <dialect> [--budget N] [--workers N] [--journal PATH]
 //!   [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles]
-//!   [--no-batch]` runs one telemetry-on campaign, optionally exposing live
-//!   Prometheus metrics over HTTP, ticking a TTY progress line, writing the
-//!   JSONL event journal, emitting crash-forensics bundles, (with
-//!   `--oracles`) arming the wrong-result oracles — multi-form, pivot,
-//!   differential — and (with `--no-batch`) falling back from columnar
-//!   batch execution to the scalar prepared path;
-//! * `repro trace <journal.jsonl> [--csv DIR]` analyzes a journal offline:
-//!   outcome classes, top-yield pattern/category tables, the §7.5-style
-//!   growth curves — and, with `--csv`, the same data as CSV files;
+//!   [--no-batch] [--spans DIR] [--stall-ms N]` runs one telemetry-on
+//!   campaign, optionally exposing live Prometheus metrics plus the
+//!   operator dashboard and `/events` stream over HTTP, ticking a TTY
+//!   progress line, writing the JSONL event journal, emitting
+//!   crash-forensics bundles, (with `--oracles`) arming the wrong-result
+//!   oracles — multi-form, pivot, differential — (with `--no-batch`)
+//!   falling back from columnar batch execution to the scalar prepared
+//!   path, (with `--spans`) arming the flight recorder and exporting its
+//!   Chrome trace-event JSON, and (with `--stall-ms`) tuning the shard
+//!   watchdog's stall threshold;
+//! * `repro trace <journal.jsonl> [--csv DIR] [--chrome OUT.json]`
+//!   analyzes a journal offline: outcome classes, top-yield
+//!   pattern/category tables, the §7.5-style growth curves — with `--csv`,
+//!   the same data as CSV files, and with `--chrome`, the journal as a
+//!   logical Chrome trace-event file for Perfetto. Damaged lines are
+//!   skipped and counted on stderr; only an entirely unparseable journal
+//!   is an error;
+//! * `repro compare <a.jsonl> <b.jsonl> [--csv DIR]` diffs two campaign
+//!   journals — new/lost unique bugs, per-pattern and per-category yield
+//!   deltas, coverage deltas, and the discovery-latency histogram shift —
+//!   exiting `5` when campaign B lost bugs campaign A found (the CI
+//!   regression gate);
 //! * `repro bundle <dialect> [--budget N] [--out DIR]` runs a campaign and
 //!   writes one forensics bundle per unique finding;
 //! * `repro replay <path>` replays a bundle directory (or every bundle
@@ -35,8 +48,10 @@
 //! no findings, `2` usage error, `3` the campaign confirmed at least one
 //! crash finding, `4` it confirmed wrong-result (logic) findings only —
 //! crashes take precedence; `repro replay` exits `1` when a bundle fails
-//! to replay.
+//! to replay, and `repro compare` exits `5` when campaign B lost unique
+//! bugs campaign A found.
 
+use soft_bench::compare::{compare_traces, render_compare, write_compare_csv};
 use soft_bench::comparison::{render_metric, run_comparison, Tool, COMPARED_DIALECTS};
 use soft_bench::trace::{dialect_by_name, render_trace, write_trace_csv};
 use soft_core::campaign::{
@@ -77,6 +92,7 @@ fn main() {
         "ablation" => ablation(budget / 2),
         "campaign" => campaign(&args, budget),
         "trace" => trace(&args),
+        "compare" => compare(&args),
         "bundle" => bundle(&args, budget),
         "replay" => replay(&args),
         "repo" => repo_cmd(&args),
@@ -99,8 +115,8 @@ fn main() {
             eprintln!("unknown artifact {other:?}");
             eprintln!(
                 "artifacts: table1 table2 table3 figure1 findings rootcauses table4 \
-                 figure2 table5 table6 bugs24h cases ablation campaign trace bundle \
-                 replay repo help all"
+                 figure2 table5 table6 bugs24h cases ablation campaign trace compare \
+                 bundle replay repo help all"
             );
             eprintln!("see `repro help` for the full reference");
             std::process::exit(2);
@@ -128,7 +144,7 @@ fn campaign(args: &[String], budget: usize) {
         eprintln!(
             "usage: repro campaign <dialect> [--budget N] [--workers N] [--journal PATH] \
              [--metrics-addr ADDR] [--progress] [--findings DIR] [--oracles] [--no-batch] \
-             [--schedule] [--epochs N] [--repo DIR]"
+             [--schedule] [--epochs N] [--repo DIR] [--spans DIR] [--stall-ms N]"
         );
         eprintln!(
             "dialects: {}",
@@ -156,6 +172,8 @@ fn campaign(args: &[String], budget: usize) {
         ScheduleConfig::Off
     };
     let repository = flag_value(args, "--repo").map(std::path::PathBuf::from);
+    let spans_dir = flag_value(args, "--spans").map(std::path::PathBuf::from);
+    let stall_ms = flag_value(args, "--stall-ms").and_then(|v| v.parse::<u64>().ok());
     hr(&format!("Telemetry campaign — {}", id.name()));
     let snapshot_interval = (budget / 20).clamp(100, 10_000);
     let cfg = CampaignConfig {
@@ -179,7 +197,10 @@ fn campaign(args: &[String], budget: usize) {
     let server = metrics_addr.as_deref().map(|addr| {
         match MetricsServer::bind(addr, Arc::clone(&metrics)) {
             Ok(s) => {
-                println!("metrics: http://{}/metrics (also /status, /curve)", s.local_addr());
+                println!(
+                    "metrics: http://{}/metrics (also /, /status, /curve, /events)",
+                    s.local_addr()
+                );
                 s
             }
             Err(e) => {
@@ -188,9 +209,16 @@ fn campaign(args: &[String], budget: usize) {
             }
         }
     });
+    let watchdog = WatchdogConfig {
+        stall_after: std::time::Duration::from_millis(
+            stall_ms.unwrap_or(WatchdogConfig::default().stall_after.as_millis() as u64),
+        ),
+        ..WatchdogConfig::default()
+    };
     let plane = LivePlane {
         metrics: Some(Arc::clone(&metrics)),
-        watchdog: Some(WatchdogConfig::default()),
+        watchdog: Some(watchdog),
+        spans: spans_dir.is_some(),
     };
     let run = {
         let ticker_stop = Arc::new(AtomicBool::new(false));
@@ -227,6 +255,19 @@ fn campaign(args: &[String], budget: usize) {
     if let Some(w) = &run.watchdog {
         println!("{}", w.render_summary());
     }
+    // The flight recorder: write the merged span trace as Chrome
+    // trace-event JSON (open in Perfetto / chrome://tracing).
+    if let (Some(dir), Some(spans)) = (&spans_dir, &run.spans) {
+        let json = spans.to_chrome_json(&format!("soft-repro {}", id.name()));
+        soft_obs::span::validate_json(&json).expect("span export is valid trace-event JSON");
+        let path = dir.join(format!("{}_trace.json", id.name().to_lowercase()));
+        if let Err(e) = std::fs::create_dir_all(dir).and_then(|()| std::fs::write(&path, json)) {
+            eprintln!("cannot write span trace {}: {e}", path.display());
+            std::process::exit(2);
+        }
+        println!("{}", spans.render_summary());
+        println!("spans: {} ({} spans)", path.display(), spans.spans.len());
+    }
     let telemetry = report.telemetry.as_ref().expect("telemetry was on");
     println!("{}", telemetry.yields.render_pattern_table());
     println!("{}", telemetry.yields.render_category_table());
@@ -259,13 +300,10 @@ fn campaign(args: &[String], budget: usize) {
     }
 }
 
-/// `repro trace <journal.jsonl>` — offline journal analysis, optionally
-/// exporting the tables and curves as CSV (`--csv DIR`).
-fn trace(args: &[String]) {
-    let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
-        eprintln!("usage: repro trace <journal.jsonl> [--csv DIR]");
-        std::process::exit(2);
-    };
+/// Reads and leniently parses one journal: damaged lines are skipped and
+/// counted on stderr; only an unreadable file or an entirely unparseable
+/// journal exits `2`.
+fn read_journal(path: &str) -> TraceFile {
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) => {
@@ -273,13 +311,29 @@ fn trace(args: &[String]) {
             std::process::exit(2);
         }
     };
-    let trace = match TraceFile::parse(&text) {
-        Ok(t) => t,
+    match TraceFile::parse_lenient(&text) {
+        Ok((trace, skipped)) => {
+            if skipped > 0 {
+                eprintln!("{path}: skipped {skipped} malformed line(s)");
+            }
+            trace
+        }
         Err(e) => {
             eprintln!("malformed journal {path}: {e}");
             std::process::exit(2);
         }
+    }
+}
+
+/// `repro trace <journal.jsonl>` — offline journal analysis, optionally
+/// exporting the tables and curves as CSV (`--csv DIR`) and the journal's
+/// logical timeline as a Chrome trace-event file (`--chrome OUT.json`).
+fn trace(args: &[String]) {
+    let Some(path) = args.get(1).filter(|p| !p.starts_with("--")) else {
+        eprintln!("usage: repro trace <journal.jsonl> [--csv DIR] [--chrome OUT.json]");
+        std::process::exit(2);
     };
+    let trace = read_journal(path);
     print!("{}", render_trace(&trace));
     if let Some(dir) = flag_value(args, "--csv").map(std::path::PathBuf::from) {
         match write_trace_csv(&trace, &dir) {
@@ -293,6 +347,50 @@ fn trace(args: &[String]) {
                 std::process::exit(2);
             }
         }
+    }
+    if let Some(out) = flag_value(args, "--chrome") {
+        let spans = soft_obs::span::journal_trace(&trace);
+        let dialect = trace.dialect.as_deref().unwrap_or("journal");
+        let json = spans.to_chrome_json(&format!("soft-repro {dialect}"));
+        soft_obs::span::validate_json(&json).expect("span export is valid trace-event JSON");
+        if let Err(e) = std::fs::write(out, json) {
+            eprintln!("cannot write {out}: {e}");
+            std::process::exit(2);
+        }
+        println!("chrome trace: {out} ({} spans)", spans.spans.len());
+    }
+}
+
+/// `repro compare <a.jsonl> <b.jsonl>` — diffs two campaign journals:
+/// new/lost unique bugs, yield and coverage deltas, and the
+/// discovery-latency shift. Exits `5` when campaign B lost bugs campaign A
+/// found — the CI regression gate.
+fn compare(args: &[String]) {
+    let mut paths = args.iter().skip(1).filter(|p| !p.starts_with("--"));
+    let (Some(path_a), Some(path_b)) = (paths.next(), paths.next()) else {
+        eprintln!("usage: repro compare <a.jsonl> <b.jsonl> [--csv DIR]");
+        std::process::exit(2);
+    };
+    let a = read_journal(path_a);
+    let b = read_journal(path_b);
+    let report = compare_traces(&a, &b);
+    print!("{}", render_compare(&report));
+    if let Some(dir) = flag_value(args, "--csv").map(std::path::PathBuf::from) {
+        match write_compare_csv(&report, &dir) {
+            Ok(written) => {
+                for p in written {
+                    println!("csv: {}", p.display());
+                }
+            }
+            Err(e) => {
+                eprintln!("cannot write CSV under {}: {e}", dir.display());
+                std::process::exit(2);
+            }
+        }
+    }
+    if !report.lost_bugs.is_empty() {
+        eprintln!("REGRESSION: campaign B lost {} unique bug(s)", report.lost_bugs.len());
+        std::process::exit(5);
     }
 }
 

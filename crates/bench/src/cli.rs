@@ -107,16 +107,44 @@ pub const COMMANDS: &[CommandSpec] = &[
                 value: Some("DIR"),
                 summary: "consume a seed repository: same-dialect PoCs as seeds, literals into the pool",
             },
+            FlagSpec {
+                flag: "--spans",
+                value: Some("DIR"),
+                summary: "arm the flight recorder and write the Chrome trace-event JSON under DIR",
+            },
+            FlagSpec {
+                flag: "--stall-ms",
+                value: Some("N"),
+                summary: "watchdog stall threshold in milliseconds (default 5000)",
+            },
         ],
     },
     CommandSpec {
         name: "trace",
-        usage: "trace <journal.jsonl> [--csv DIR]",
+        usage: "trace <journal.jsonl> [--csv DIR] [--chrome OUT.json]",
         summary: "offline journal analysis: outcomes, yields, curves, epoch reallocations",
+        flags: &[
+            FlagSpec {
+                flag: "--csv",
+                value: Some("DIR"),
+                summary: "also export the tables and curves as CSV files",
+            },
+            FlagSpec {
+                flag: "--chrome",
+                value: Some("OUT.json"),
+                summary: "export the journal as a logical Chrome trace-event file for Perfetto",
+            },
+        ],
+    },
+    CommandSpec {
+        name: "compare",
+        usage: "compare <a.jsonl> <b.jsonl> [--csv DIR]",
+        summary: "diff two campaign journals: new/lost bugs, yield and coverage deltas, \
+                  discovery-latency shift",
         flags: &[FlagSpec {
             flag: "--csv",
             value: Some("DIR"),
-            summary: "also export the tables and curves as CSV files",
+            summary: "also export the diff as CSV files",
         }],
     },
     CommandSpec {
@@ -181,6 +209,10 @@ pub const EXIT_CODES: &[ExitSpec] = &[
     ExitSpec { code: 2, meaning: "usage error (unknown command, dialect, path, or malformed input)" },
     ExitSpec { code: 3, meaning: "the campaign confirmed at least one crash finding" },
     ExitSpec { code: 4, meaning: "the campaign confirmed wrong-result (logic) findings only" },
+    ExitSpec {
+        code: 5,
+        meaning: "`repro compare` only: campaign B lost unique bugs that campaign A found",
+    },
 ];
 
 /// Renders the `repro help` reference from the command table.

@@ -1,0 +1,476 @@
+//! Cross-campaign diffing (`repro compare`).
+//!
+//! Two campaigns' event journals, one structured diff: which unique bugs
+//! appeared or disappeared, how each pattern's and category's yield moved,
+//! how coverage shifted, and how the discovery-latency distribution (the
+//! statements-until-found histogram, log2 buckets) changed between the
+//! runs. The primary consumer is CI regression gating — "did this change
+//! lose any bugs the old configuration found?" — which is why
+//! [`CompareReport::lost_bugs`] drives a dedicated nonzero exit code in
+//! `repro compare` (see `cli::EXIT_CODES`).
+//!
+//! Everything here is a pure fold over the two parsed [`TraceFile`]s:
+//! deterministic campaigns diff to an empty report, and the repo's
+//! plan-prefix property (a smaller budget plans an exact prefix of a
+//! larger one) guarantees `compare small-budget large-budget` reports
+//! gained bugs only — the verify.sh smoke checks both directions.
+
+use crate::trace::{csv_field, rebuild_yields};
+use soft_obs::{OutcomeClass, TraceFile};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt::Write as _;
+
+/// Discovery-latency histogram bucket count: bucket `k` counts unique
+/// bugs first found at statement index `[2^k, 2^(k+1))`, so 32 buckets
+/// cover any practical statement budget.
+pub const LATENCY_BUCKETS: usize = 32;
+
+/// One metric measured in both campaigns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Delta {
+    /// The metric in campaign A.
+    pub a: usize,
+    /// The metric in campaign B.
+    pub b: usize,
+}
+
+impl Delta {
+    /// Signed B−A difference.
+    pub fn diff(&self) -> i64 {
+        self.b as i64 - self.a as i64
+    }
+}
+
+/// Per-pattern (or per-category) yield movement between the campaigns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct YieldDelta {
+    /// Statements executed.
+    pub executed: Delta,
+    /// Unique bugs first credited here.
+    pub unique_bugs: Delta,
+    /// Statements that crashed (repeat faults included).
+    pub crashes: Delta,
+}
+
+/// The structured diff of two campaign journals.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompareReport {
+    /// Dialect named by campaign A's header.
+    pub dialect_a: Option<String>,
+    /// Dialect named by campaign B's header.
+    pub dialect_b: Option<String>,
+    /// Statements executed by each campaign.
+    pub statements: Delta,
+    /// Unique fault ids found by B but not A, sorted.
+    pub new_bugs: Vec<String>,
+    /// Unique fault ids found by A but not B, sorted. Non-empty means a
+    /// regression for CI purposes: `repro compare` exits nonzero.
+    pub lost_bugs: Vec<String>,
+    /// Unique fault ids found by both campaigns.
+    pub common_bugs: usize,
+    /// Yield movement per pattern label, in pattern order.
+    pub pattern_deltas: BTreeMap<String, YieldDelta>,
+    /// Yield movement per function-category label, in category order.
+    pub category_deltas: BTreeMap<String, YieldDelta>,
+    /// Final functions-triggered coverage of each campaign (from the last
+    /// coverage snapshot; 0 when the journal carries none).
+    pub functions: Delta,
+    /// Final branches-covered coverage of each campaign.
+    pub branches: Delta,
+    /// Discovery-latency histogram of campaign A: bucket `k` counts unique
+    /// bugs first found at statement `[2^k, 2^(k+1))`.
+    pub latency_a: [usize; LATENCY_BUCKETS],
+    /// Discovery-latency histogram of campaign B.
+    pub latency_b: [usize; LATENCY_BUCKETS],
+}
+
+impl CompareReport {
+    /// True when the campaigns produced identical bug sets (coverage and
+    /// yields may still differ).
+    pub fn same_bugs(&self) -> bool {
+        self.new_bugs.is_empty() && self.lost_bugs.is_empty()
+    }
+}
+
+/// Unique fault ids of a journal, each with the statement index at which
+/// it was first observed — the diff's bug universe. Crash and logic-bug
+/// events alike; first observation wins (events are globally ordered).
+fn unique_bugs(trace: &TraceFile) -> BTreeMap<String, usize> {
+    let mut out = BTreeMap::new();
+    for e in &trace.journal.events {
+        if !matches!(e.outcome, OutcomeClass::Crash | OutcomeClass::LogicBug) {
+            continue;
+        }
+        if let Some(fault) = e.fault_id.as_deref() {
+            out.entry(fault.to_string()).or_insert(e.index);
+        }
+    }
+    out
+}
+
+/// Folds first-discovery statement indices into the log2 histogram.
+fn latency_histogram(bugs: &BTreeMap<String, usize>) -> [usize; LATENCY_BUCKETS] {
+    let mut hist = [0usize; LATENCY_BUCKETS];
+    for &index in bugs.values() {
+        let bucket = (usize::BITS - index.max(1).leading_zeros() - 1) as usize;
+        hist[bucket.min(LATENCY_BUCKETS - 1)] += 1;
+    }
+    hist
+}
+
+/// Diffs two parsed journals: A is the baseline, B the candidate.
+pub fn compare_traces(a: &TraceFile, b: &TraceFile) -> CompareReport {
+    let bugs_a = unique_bugs(a);
+    let bugs_b = unique_bugs(b);
+    let ids_a: BTreeSet<&str> = bugs_a.keys().map(String::as_str).collect();
+    let ids_b: BTreeSet<&str> = bugs_b.keys().map(String::as_str).collect();
+
+    let (yields_a, _) = rebuild_yields(a);
+    let (yields_b, _) = rebuild_yields(b);
+    let mut pattern_deltas: BTreeMap<String, YieldDelta> = BTreeMap::new();
+    for (p, y) in &yields_a.per_pattern {
+        let d = pattern_deltas.entry(p.label().to_string()).or_default();
+        d.executed.a = y.executed;
+        d.unique_bugs.a = y.unique_bugs;
+        d.crashes.a = y.crashes;
+    }
+    for (p, y) in &yields_b.per_pattern {
+        let d = pattern_deltas.entry(p.label().to_string()).or_default();
+        d.executed.b = y.executed;
+        d.unique_bugs.b = y.unique_bugs;
+        d.crashes.b = y.crashes;
+    }
+    let mut category_deltas: BTreeMap<String, YieldDelta> = BTreeMap::new();
+    for (c, y) in &yields_a.per_category {
+        let d = category_deltas.entry(c.label().to_string()).or_default();
+        d.executed.a = y.executed;
+        d.unique_bugs.a = y.unique_bugs;
+        d.crashes.a = y.crashes;
+    }
+    for (c, y) in &yields_b.per_category {
+        let d = category_deltas.entry(c.label().to_string()).or_default();
+        d.executed.b = y.executed;
+        d.unique_bugs.b = y.unique_bugs;
+        d.crashes.b = y.crashes;
+    }
+
+    let final_coverage =
+        |t: &TraceFile| t.coverage.last().map(|p| (p.functions, p.branches)).unwrap_or((0, 0));
+    let (fa, ba) = final_coverage(a);
+    let (fb, bb) = final_coverage(b);
+
+    CompareReport {
+        dialect_a: a.dialect.clone(),
+        dialect_b: b.dialect.clone(),
+        statements: Delta {
+            a: a.statements.unwrap_or(a.journal.events.len()),
+            b: b.statements.unwrap_or(b.journal.events.len()),
+        },
+        new_bugs: ids_b.difference(&ids_a).map(|s| s.to_string()).collect(),
+        lost_bugs: ids_a.difference(&ids_b).map(|s| s.to_string()).collect(),
+        common_bugs: ids_a.intersection(&ids_b).count(),
+        pattern_deltas,
+        category_deltas,
+        functions: Delta { a: fa, b: fb },
+        branches: Delta { a: ba, b: bb },
+        latency_a: latency_histogram(&bugs_a),
+        latency_b: latency_histogram(&bugs_b),
+    }
+}
+
+/// Formats a `B (A, signed diff)` cell.
+fn delta_cell(d: &Delta) -> String {
+    if d.diff() == 0 {
+        format!("{}", d.b)
+    } else {
+        format!("{} ({:+})", d.b, d.diff())
+    }
+}
+
+/// Renders the human-readable diff. Sections that did not move are
+/// summarised in one line so an identical-campaign diff reads as such at
+/// a glance.
+pub fn render_compare(r: &CompareReport) -> String {
+    let mut out = String::new();
+    let dialect = |d: &Option<String>| d.clone().unwrap_or_else(|| "unknown".into());
+    let _ = writeln!(
+        out,
+        "compare: A={} ({} statements)  B={} ({} statements)",
+        dialect(&r.dialect_a),
+        r.statements.a,
+        dialect(&r.dialect_b),
+        r.statements.b
+    );
+    let _ = writeln!(
+        out,
+        "unique bugs: {} common, {} new, {} lost",
+        r.common_bugs,
+        r.new_bugs.len(),
+        r.lost_bugs.len()
+    );
+    for id in &r.new_bugs {
+        let _ = writeln!(out, "  new:  {id}");
+    }
+    for id in &r.lost_bugs {
+        let _ = writeln!(out, "  LOST: {id}");
+    }
+
+    let moved: Vec<(&String, &YieldDelta)> = r
+        .pattern_deltas
+        .iter()
+        .filter(|(_, d)| {
+            d.executed.diff() != 0 || d.unique_bugs.diff() != 0 || d.crashes.diff() != 0
+        })
+        .collect();
+    if moved.is_empty() {
+        let _ = writeln!(out, "pattern yields: identical");
+    } else {
+        let _ = writeln!(
+            out,
+            "pattern yields ({} of {} patterns moved):",
+            moved.len(),
+            r.pattern_deltas.len()
+        );
+        let _ = writeln!(
+            out,
+            "  {:<8} {:>16} {:>16} {:>16}",
+            "pattern", "executed", "crashes", "unique"
+        );
+        for (p, d) in moved {
+            let _ = writeln!(
+                out,
+                "  {:<8} {:>16} {:>16} {:>16}",
+                p,
+                delta_cell(&d.executed),
+                delta_cell(&d.crashes),
+                delta_cell(&d.unique_bugs)
+            );
+        }
+    }
+    let moved: Vec<(&String, &YieldDelta)> = r
+        .category_deltas
+        .iter()
+        .filter(|(_, d)| {
+            d.executed.diff() != 0 || d.unique_bugs.diff() != 0 || d.crashes.diff() != 0
+        })
+        .collect();
+    if moved.is_empty() {
+        let _ = writeln!(out, "category yields: identical");
+    } else {
+        let _ = writeln!(
+            out,
+            "category yields ({} of {} categories moved):",
+            moved.len(),
+            r.category_deltas.len()
+        );
+        for (c, d) in moved {
+            let _ = writeln!(
+                out,
+                "  {:<12} executed {} crashes {} unique {}",
+                c,
+                delta_cell(&d.executed),
+                delta_cell(&d.crashes),
+                delta_cell(&d.unique_bugs)
+            );
+        }
+    }
+
+    let _ = writeln!(
+        out,
+        "coverage: functions {}  branches {}",
+        delta_cell(&r.functions),
+        delta_cell(&r.branches)
+    );
+
+    if r.latency_a == r.latency_b {
+        let _ = writeln!(out, "discovery latency: identical");
+    } else {
+        let _ = writeln!(out, "discovery latency (unique bugs by statements-until-found):");
+        for k in 0..LATENCY_BUCKETS {
+            if r.latency_a[k] == 0 && r.latency_b[k] == 0 {
+                continue;
+            }
+            let lo = 1usize << k;
+            let hi = (1usize << k).saturating_mul(2).saturating_sub(1);
+            let _ = writeln!(
+                out,
+                "  {:>12}-{:<12} A={:<4} B={:<4}",
+                lo, hi, r.latency_a[k], r.latency_b[k]
+            );
+        }
+    }
+    out
+}
+
+/// The diff as CSV files: `(file name, contents)` pairs with stable names
+/// and a header row first, mirroring `trace_csv_exports`.
+pub fn compare_csv_exports(r: &CompareReport) -> Vec<(&'static str, String)> {
+    let mut files: Vec<(&'static str, String)> = Vec::new();
+
+    let mut bugs = String::from("fault_id,status\n");
+    for id in &r.new_bugs {
+        let _ = writeln!(bugs, "{},new", csv_field(id));
+    }
+    for id in &r.lost_bugs {
+        let _ = writeln!(bugs, "{},lost", csv_field(id));
+    }
+    files.push(("compare_bugs.csv", bugs));
+
+    let mut yields = String::from(
+        "kind,label,executed_a,executed_b,crashes_a,crashes_b,unique_a,unique_b\n",
+    );
+    for (kind, deltas) in
+        [("pattern", &r.pattern_deltas), ("category", &r.category_deltas)]
+    {
+        for (label, d) in deltas {
+            let _ = writeln!(
+                yields,
+                "{kind},{},{},{},{},{},{},{}",
+                csv_field(label),
+                d.executed.a,
+                d.executed.b,
+                d.crashes.a,
+                d.crashes.b,
+                d.unique_bugs.a,
+                d.unique_bugs.b
+            );
+        }
+    }
+    files.push(("compare_yields.csv", yields));
+
+    let mut cov = String::from("metric,a,b,diff\n");
+    for (name, d) in [
+        ("statements", &r.statements),
+        ("functions", &r.functions),
+        ("branches", &r.branches),
+    ] {
+        let _ = writeln!(cov, "{name},{},{},{}", d.a, d.b, d.diff());
+    }
+    files.push(("compare_coverage.csv", cov));
+
+    let mut lat = String::from("bucket_lo,bucket_hi,bugs_a,bugs_b\n");
+    for k in 0..LATENCY_BUCKETS {
+        if r.latency_a[k] == 0 && r.latency_b[k] == 0 {
+            continue;
+        }
+        let _ = writeln!(
+            lat,
+            "{},{},{},{}",
+            1usize << k,
+            (1usize << k).saturating_mul(2).saturating_sub(1),
+            r.latency_a[k],
+            r.latency_b[k]
+        );
+    }
+    files.push(("compare_latency.csv", lat));
+    files
+}
+
+/// Writes [`compare_csv_exports`] into `out_dir` (created if missing),
+/// returning the written paths.
+pub fn write_compare_csv(
+    r: &CompareReport,
+    out_dir: &std::path::Path,
+) -> std::io::Result<Vec<std::path::PathBuf>> {
+    std::fs::create_dir_all(out_dir)?;
+    let mut written = Vec::new();
+    for (name, contents) in compare_csv_exports(r) {
+        let path = out_dir.join(name);
+        std::fs::write(&path, contents)?;
+        written.push(path);
+    }
+    Ok(written)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn journal(bugs: &[(&str, usize)], statements: usize) -> TraceFile {
+        let mut text = format!(
+            "{{\"type\": \"campaign\", \"dialect\": \"MonetDB\", \"statements\": {statements}, \
+             \"events\": {}}}\n",
+            bugs.len()
+        );
+        for (fault, index) in bugs {
+            text.push_str(&format!(
+                "{{\"type\": \"stmt\", \"index\": {index}, \"shard\": 0, \"seed\": 0, \
+                 \"pattern\": \"P1.1\", \"function\": null, \"outcome\": \"crash\", \
+                 \"fault\": \"{fault}\"}}\n"
+            ));
+        }
+        text.push_str(&format!(
+            "{{\"type\": \"coverage\", \"statements\": {statements}, \"functions\": {}, \
+             \"branches\": {}}}\n",
+            10 + bugs.len(),
+            100 + bugs.len()
+        ));
+        TraceFile::parse(&text).expect("synthetic journal parses")
+    }
+
+    #[test]
+    fn identical_campaigns_diff_clean() {
+        let a = journal(&[("bug-1", 5), ("bug-2", 700)], 1000);
+        let r = compare_traces(&a, &a);
+        assert!(r.same_bugs());
+        assert_eq!(r.common_bugs, 2);
+        assert_eq!(r.statements, Delta { a: 1000, b: 1000 });
+        assert_eq!(r.latency_a, r.latency_b);
+        let text = render_compare(&r);
+        assert!(text.contains("2 common, 0 new, 0 lost"), "{text}");
+        assert!(text.contains("pattern yields: identical"), "{text}");
+        assert!(text.contains("discovery latency: identical"), "{text}");
+    }
+
+    #[test]
+    fn new_and_lost_bugs_are_partitioned_and_sorted() {
+        let a = journal(&[("bug-a", 3), ("bug-c", 9)], 100);
+        let b = journal(&[("bug-b", 4), ("bug-c", 9), ("bug-d", 50)], 200);
+        let r = compare_traces(&a, &b);
+        assert_eq!(r.new_bugs, vec!["bug-b", "bug-d"]);
+        assert_eq!(r.lost_bugs, vec!["bug-a"]);
+        assert_eq!(r.common_bugs, 1);
+        assert!(!r.same_bugs());
+        let text = render_compare(&r);
+        assert!(text.contains("LOST: bug-a"), "{text}");
+        assert!(text.contains("new:  bug-b"), "{text}");
+        // Coverage deltas come from the final snapshots.
+        assert_eq!(r.branches.diff(), 1);
+    }
+
+    #[test]
+    fn latency_histogram_buckets_by_log2() {
+        // Indices 1, 2-3, and 700 land in buckets 0, 1, and 9.
+        let bugs: BTreeMap<String, usize> =
+            [("a".into(), 1), ("b".into(), 3), ("c".into(), 700)].into();
+        let hist = latency_histogram(&bugs);
+        assert_eq!(hist[0], 1);
+        assert_eq!(hist[1], 1);
+        assert_eq!(hist[9], 1);
+        assert_eq!(hist.iter().sum::<usize>(), 3);
+    }
+
+    #[test]
+    fn csv_exports_have_stable_names_and_headers() {
+        let a = journal(&[("bug-1", 5)], 100);
+        let b = journal(&[("bug-2", 6)], 100);
+        let files = compare_csv_exports(&compare_traces(&a, &b));
+        let names: Vec<&str> = files.iter().map(|(n, _)| *n).collect();
+        assert_eq!(
+            names,
+            vec![
+                "compare_bugs.csv",
+                "compare_yields.csv",
+                "compare_coverage.csv",
+                "compare_latency.csv"
+            ]
+        );
+        for (name, contents) in &files {
+            let header = contents.lines().next().unwrap_or("");
+            assert!(header.contains(','), "{name} header: {header}");
+        }
+        let bugs = &files[0].1;
+        assert!(bugs.contains("bug-2,new"), "{bugs}");
+        assert!(bugs.contains("bug-1,lost"), "{bugs}");
+    }
+}

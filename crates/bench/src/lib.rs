@@ -7,12 +7,14 @@
 
 pub mod ablation;
 pub mod cli;
+pub mod compare;
 pub mod comparison;
 pub mod harness;
 pub mod trace;
 
 pub use ablation::{render_ablation, run_ablation, AblationResult};
 pub use cli::{render_help, CommandSpec, ExitSpec, FlagSpec, COMMANDS, EXIT_CODES};
+pub use compare::{compare_traces, render_compare, write_compare_csv, CompareReport};
 pub use comparison::{check_shape, render_metric, run_comparison, Tool, ToolResult};
 pub use harness::{Bench, Sample};
 pub use trace::{dialect_by_name, render_trace, trace_csv_exports, write_trace_csv};

@@ -105,7 +105,7 @@ pub fn render_epochs(epochs: &[EpochRealloc]) -> String {
 
 /// Rebuilds the yield ledger from a journal. The bool reports whether the
 /// header named a known dialect (and categories could therefore resolve).
-fn rebuild_yields(trace: &TraceFile) -> (YieldMetrics, bool) {
+pub fn rebuild_yields(trace: &TraceFile) -> (YieldMetrics, bool) {
     let engine = trace
         .dialect
         .as_deref()
@@ -129,7 +129,7 @@ fn rebuild_curves(trace: &TraceFile) -> GrowthCurves {
 /// applied only when the value needs it. A bare carriage return requires
 /// quoting just like a line feed — RFC 4180 treats CR, LF, and CRLF alike,
 /// and an unquoted CR splits the record in most readers.
-fn csv_field(s: &str) -> String {
+pub fn csv_field(s: &str) -> String {
     if s.contains([',', '"', '\n', '\r']) {
         format!("\"{}\"", s.replace('"', "\"\""))
     } else {

@@ -49,6 +49,15 @@
 //! campaign never reads them back, so the byte-identical guarantee is
 //! untouched; their outputs land on [`CampaignRun`], next to the other
 //! wall-clock surfaces, never inside [`CampaignReport`] equality.
+//!
+//! The flight recorder ([`LivePlane::spans`]) is the third observer on the
+//! same plane: each shard records hierarchical wall-clock spans (shard,
+//! batch-group, execute, oracle) into a buffer it owns exclusively, the
+//! campaign thread records the planning stages (generate, parse, epoch,
+//! minimize, campaign), and the join merges everything into a
+//! [`SpanTrace`] on [`CampaignRun::spans`] — exportable as Chrome
+//! trace-event JSON for Perfetto. Spans are wall-clock and therefore live
+//! outside report equality, like every other surface here.
 
 use crate::collect::{self, Collection};
 use crate::oracle::{self, OracleConfig, OracleKind, OracleOptions};
@@ -60,9 +69,11 @@ use soft_engine::{
     BatchArena, Coverage, Engine, ExecOutcome, FaultSpec, PatternId, Prepared, ShapeKey,
     SqlError, Stage, MIN_BATCH_GROUP,
 };
+use soft_obs::span::CAMPAIGN_TRACK;
 use soft_obs::{
-    ArmAlloc, EpochRealloc, LiveMetrics, OutcomeClass, ShardTelemetry, StageLatency,
-    StatementEvent, TelemetryConfig, TelemetryOptions, WatchdogConfig, WatchdogReport,
+    ArmAlloc, EpochRealloc, LiveMetrics, OutcomeClass, ShardTelemetry, SpanRecord, SpanSink,
+    SpanTrace, StageLatency, StatementEvent, TelemetryConfig, TelemetryOptions, WatchdogConfig,
+    WatchdogReport,
 };
 use soft_types::category::FunctionCategory;
 use std::collections::{BTreeMap, HashMap, HashSet};
@@ -306,6 +317,10 @@ pub struct CampaignRun {
     /// [`LivePlane::watchdog`] was configured. Wall-clock, so it lives on
     /// the run, outside report equality.
     pub watchdog: Option<WatchdogReport>,
+    /// The flight-recorder trace (hierarchical wall-clock spans, merged
+    /// from the per-shard buffers), when [`LivePlane::spans`] was armed.
+    /// Wall-clock, so it lives on the run, outside report equality.
+    pub spans: Option<SpanTrace>,
 }
 
 /// The campaign's live observability hookup: which wall-clock observers to
@@ -325,6 +340,10 @@ pub struct LivePlane {
     /// without `metrics`, a private registry is created so heartbeats still
     /// flow.
     pub watchdog: Option<WatchdogConfig>,
+    /// Arm the flight recorder: every shard records wall-clock spans into
+    /// a buffer it owns exclusively (no locks, no cross-thread traffic),
+    /// merged at the join into [`CampaignRun::spans`].
+    pub spans: bool,
 }
 
 impl CampaignRun {
@@ -344,6 +363,7 @@ struct ShardOutcome {
     coverage: Coverage,
     nanos: u128,
     telemetry: Option<ShardTelemetry>,
+    spans: Vec<SpanRecord>,
 }
 
 /// Runs a full SOFT campaign against one dialect profile, serially — the
@@ -442,6 +462,14 @@ pub fn run_soft_parallel_live(
     // workers. The shard work finishes first; only then is the stop flag
     // raised and the watchdog joined — so the watchdog observes the whole
     // campaign and the scope cannot deadlock on it.
+    // The flight recorder: the campaign thread owns track 0 (planning
+    // stages), each shard records onto track `shard + 1` inside its own
+    // outcome buffer. All sinks share `t0` as the time origin.
+    let mut campaign_sink: Option<SpanSink> =
+        live.spans.then(|| SpanSink::new(t0, CAMPAIGN_TRACK));
+    let span_origin: Option<Instant> = live.spans.then_some(t0);
+    let campaign_sink_ref = &mut campaign_sink;
+
     let stop = AtomicBool::new(false);
     let stop_ref = &stop;
     let (plan, mut outcomes, epochs, watchdog_report) = std::thread::scope(|scope| {
@@ -453,10 +481,22 @@ pub fn run_soft_parallel_live(
             // The static planner: one plan, one prepare pass, one shard
             // decomposition — the reference semantics.
             None => {
+                let gen_start = campaign_sink_ref.as_ref().map(|s| s.now_ns());
                 let mut plan = build_plan(&collection, &ctx, config, workers);
+                if let (Some(sink), Some(start)) = (campaign_sink_ref.as_mut(), gen_start) {
+                    sink.record_since(
+                        "generate",
+                        start,
+                        Some(format!("{} cases", plan.cases.len())),
+                    );
+                }
                 // Parse-once: compile the planned stream against the
                 // template. From here on the shards only execute ASTs.
+                let parse_start = campaign_sink_ref.as_ref().map(|s| s.now_ns());
                 plan.prepare(&template, telemetry_opts.is_some());
+                if let (Some(sink), Some(start)) = (campaign_sink_ref.as_mut(), parse_start) {
+                    sink.record_since("parse", start, None);
+                }
                 let shard_size = config.shard_statements.max(1);
                 let shards: Vec<(usize, usize, usize)> = (0..plan.cases.len())
                     .step_by(shard_size)
@@ -477,6 +517,7 @@ pub fn run_soft_parallel_live(
                     oracle_opts,
                     live_metrics,
                     config.batch,
+                    span_origin,
                 );
                 (plan, outcomes, Vec::new())
             }
@@ -494,6 +535,8 @@ pub fn run_soft_parallel_live(
                 telemetry_opts,
                 oracle_opts,
                 live_metrics,
+                span_origin,
+                campaign_sink_ref,
             ),
         };
         stop.store(true, Ordering::Release);
@@ -511,6 +554,7 @@ pub fn run_soft_parallel_live(
     let mut stats: Vec<ShardStats> = Vec::with_capacity(outcomes.len());
     let mut timings: Vec<ShardTiming> = Vec::with_capacity(outcomes.len());
     let mut shard_telemetry: Vec<ShardTelemetry> = Vec::new();
+    let mut span_buffers: Vec<Vec<SpanRecord>> = Vec::new();
     let mut statements = 0usize;
     let mut false_positives = 0usize;
     let mut errors = 0usize;
@@ -519,6 +563,9 @@ pub fn run_soft_parallel_live(
             if found.insert(f.fault_id.clone()) {
                 findings.push(f);
             }
+        }
+        if !outcome.spans.is_empty() {
+            span_buffers.push(std::mem::take(&mut outcome.spans));
         }
         coverage.merge(&outcome.coverage);
         statements += outcome.stats.statements;
@@ -552,12 +599,16 @@ pub fn run_soft_parallel_live(
     // globally ordered. Everything here is a pure function of (profile,
     // template), so the report stays byte-identical across worker counts.
     if let Some(opts) = oracle_opts {
+        let oracle_start = campaign_sink.as_ref().map(|s| s.now_ns());
         let mut hits: Vec<(String, oracle::LogicBug, String)> = Vec::new();
         if opts.pivot {
             hits.extend(oracle::pivot_check(&template));
         }
         if opts.differential {
             hits.extend(oracle::differential_check(profile));
+        }
+        if let (Some(sink), Some(start)) = (campaign_sink.as_mut(), oracle_start) {
+            sink.record_since("oracle", start, Some("pivot + differential".into()));
         }
         let mut oracle_events: Vec<StatementEvent> = Vec::new();
         for (k, (fault_id, bug, poc)) in hits.into_iter().enumerate() {
@@ -637,6 +688,7 @@ pub fn run_soft_parallel_live(
             // entry per finding.
             for f in &findings {
                 let t = Instant::now();
+                let min_start = campaign_sink.as_ref().map(|s| s.now_ns());
                 match &f.kind {
                     FindingKind::Crash(_) => {
                         let _ = crate::minimize::minimize(&f.poc, || template.clone());
@@ -647,6 +699,9 @@ pub fn run_soft_parallel_live(
                     FindingKind::Logic(_) => {}
                 }
                 latency.minimize.record(t.elapsed());
+                if let (Some(sink), Some(start)) = (campaign_sink.as_mut(), min_start) {
+                    sink.record_since("minimize", start, Some(f.fault_id.clone()));
+                }
             }
             if let Some(path) = &opts.journal_path {
                 let trace = merged.to_trace(Some(profile.id.name()), statements);
@@ -678,6 +733,18 @@ pub fn run_soft_parallel_live(
         w.slow_shards = soft_obs::watchdog::classify_slow_shards(&rows);
         w
     });
+    // Close the root span and merge all buffers into the flight trace.
+    let spans = campaign_sink.map(|mut sink| {
+        let end = sink.now_ns();
+        sink.record("campaign", 0, end, Some(format!("{statements} statements")));
+        span_buffers.push(sink.into_spans());
+        SpanTrace::merge(span_buffers)
+    });
+    // Terminate the live event stream: `/events` consumers see a final
+    // `done` record and the chunked response closes.
+    if let Some(m) = live_metrics {
+        m.finish_campaign();
+    }
     CampaignRun {
         report,
         workers,
@@ -685,6 +752,7 @@ pub fn run_soft_parallel_live(
         shard_timings: timings,
         stage_latency,
         watchdog,
+        spans,
     }
 }
 
@@ -705,6 +773,7 @@ fn execute_shards(
     oracles: Option<&OracleOptions>,
     live: Option<&LiveMetrics>,
     batch: bool,
+    span_origin: Option<Instant>,
 ) -> Vec<ShardOutcome> {
     if workers == 1 || shards.len() <= 1 {
         return shards
@@ -721,6 +790,7 @@ fn execute_shards(
                     oracles,
                     live,
                     batch,
+                    span_origin,
                 )
             })
             .collect();
@@ -744,6 +814,7 @@ fn execute_shards(
                         oracles,
                         live,
                         batch,
+                        span_origin,
                     );
                     done.lock().expect("shard results poisoned").push(outcome);
                 })
@@ -796,7 +867,10 @@ fn run_scheduled(
     telemetry: Option<&TelemetryOptions>,
     oracles: Option<&OracleOptions>,
     live: Option<&LiveMetrics>,
+    span_origin: Option<Instant>,
+    campaign_sink: &mut Option<SpanSink>,
 ) -> (Plan, Vec<ShardOutcome>, Vec<EpochRealloc>) {
+    let gen_start = campaign_sink.as_ref().map(|s| s.now_ns());
     let seed_functions = seed_functions_of(collection);
     // Arm attribution: the category of each seed's root function (the
     // registry's view), `System` when the seed has no resolvable function.
@@ -817,6 +891,10 @@ fn run_scheduled(
         generate_cases(collection, ctx, config, &active, workers);
     let generated_per_pattern: Vec<(PatternId, usize)> =
         active.iter().zip(&per_pattern).map(|(&p, cases)| (p, cases.len())).collect();
+    if let (Some(sink), Some(start)) = (campaign_sink.as_mut(), gen_start) {
+        let total: usize = generated_per_pattern.iter().map(|&(_, n)| n).sum();
+        sink.record_since("generate", start, Some(format!("{total} cases")));
+    }
 
     // Partition the generated cases into arm queues, keyed (pattern
     // position, category) so the arm order refines the static planner's
@@ -899,6 +977,7 @@ fn run_scheduled(
     let mut seen_functions: HashSet<Arc<str>> = HashSet::new();
 
     for epoch in 0..n_epochs {
+        let epoch_span_start = campaign_sink.as_ref().map(|s| s.now_ns());
         // Epoch k owns the budget slice up to `budget * (k+1) / n`; planning
         // shortfalls (deduplication, dry queues) roll into the next epoch.
         let target = budget * (epoch + 1) / n_epochs;
@@ -946,7 +1025,11 @@ fn run_scheduled(
         // incremental), then execute everything planned but not yet run —
         // the epoch's quota, plus the seed corpus in epoch 0 — on shards
         // continuing the global numbering.
+        let parse_start = campaign_sink.as_ref().map(|s| s.now_ns());
         plan.prepare(template, telemetry.is_some());
+        if let (Some(sink), Some(start)) = (campaign_sink.as_mut(), parse_start) {
+            sink.record_since("parse", start, None);
+        }
         let epoch_shards: Vec<(usize, usize, usize)> = (exec_from..plan.cases.len())
             .step_by(shard_size)
             .enumerate()
@@ -967,6 +1050,7 @@ fn run_scheduled(
             oracles,
             live,
             config.batch,
+            span_origin,
         );
 
         // Score the epoch from its merged events and let the bandit observe
@@ -981,12 +1065,23 @@ fn run_scheduled(
         );
         bandit.observe(&rewards);
 
+        let start_statement = outcomes
+            .last()
+            .map(|o| o.stats.start_offset + o.stats.statements + 1)
+            .unwrap_or(1);
+        if let Some(m) = live {
+            m.record_epoch(epoch, start_statement, epoch_budget);
+        }
+        if let (Some(sink), Some(start)) = (campaign_sink.as_mut(), epoch_span_start) {
+            sink.record_since(
+                "epoch",
+                start,
+                Some(format!("epoch {epoch}: budget {epoch_budget}")),
+            );
+        }
         epochs_out.push(EpochRealloc {
             epoch,
-            start_statement: outcomes
-                .last()
-                .map(|o| o.stats.start_offset + o.stats.statements + 1)
-                .unwrap_or(1),
+            start_statement,
             budget: epoch_budget,
             allocations: arms
                 .iter()
@@ -1009,7 +1104,11 @@ fn run_scheduled(
     // is smaller than the seed corpus or every queue went dry before an
     // epoch got to run.
     if exec_from < plan.cases.len() {
+        let parse_start = campaign_sink.as_ref().map(|s| s.now_ns());
         plan.prepare(template, telemetry.is_some());
+        if let (Some(sink), Some(start)) = (campaign_sink.as_mut(), parse_start) {
+            sink.record_since("parse", start, None);
+        }
         let tail: Vec<(usize, usize, usize)> = (exec_from..plan.cases.len())
             .step_by(shard_size)
             .enumerate()
@@ -1028,6 +1127,7 @@ fn run_scheduled(
             oracles,
             live,
             config.batch,
+            span_origin,
         ));
     }
     (plan, outcomes, epochs_out)
@@ -1409,6 +1509,7 @@ fn batch_window(
     window: std::ops::Range<usize>,
     pre: &mut [Option<(ExecOutcome, Duration)>],
     arena: &mut BatchArena,
+    sink: &mut Option<SpanSink>,
 ) {
     let mut order: Vec<ShapeKey> = Vec::new();
     let mut groups: HashMap<ShapeKey, Vec<usize>> = HashMap::new();
@@ -1434,7 +1535,15 @@ fn batch_window(
             idxs.iter().map(|&i| prepared[i].as_ref().expect("grouped statements prepared")),
         );
         let t = Instant::now();
+        let span_start = sink.as_ref().map(|s| s.now_ns());
         let Some(outcomes) = engine.execute_batch_in(&members, arena) else { continue };
+        if let (Some(sink), Some(start)) = (sink.as_mut(), span_start) {
+            sink.record_since(
+                "batch-group",
+                start,
+                Some(format!("{} statements", idxs.len())),
+            );
+        }
         let per_statement = t.elapsed() / idxs.len() as u32;
         for (&i, outcome) in idxs.iter().zip(outcomes) {
             pre[i] = Some((outcome, per_statement));
@@ -1463,8 +1572,14 @@ fn run_shard(
     oracles: Option<&OracleOptions>,
     live: Option<&LiveMetrics>,
     batch: bool,
+    span_origin: Option<Instant>,
 ) -> ShardOutcome {
     let t0 = Instant::now();
+    // The flight recorder: this worker owns the sink exclusively, so every
+    // record is a plain Vec push — no locks, no atomics. Track `shard + 1`
+    // keeps the campaign thread's track 0 distinct in the exported trace.
+    let mut sink = span_origin.map(|origin| SpanSink::new(origin, shard as u64 + 1));
+    let shard_span_start = sink.as_ref().map(|s| s.now_ns());
     let start_offset = range.start;
     let cases = &plan.cases[range.clone()];
     let prepared = &plan.prepared[range.clone()];
@@ -1489,7 +1604,7 @@ fn run_shard(
     // while the shard runs, so every update below is wait-free.
     let live = live.map(|m| (m, m.beats()));
     if let Some((m, beats)) = &live {
-        m.shard_started(&beats[shard]);
+        m.shard_started(&beats[shard], shard);
     }
     let mut crashes = 0usize;
     let mut false_positives = 0usize;
@@ -1505,7 +1620,15 @@ fn run_shard(
                 Some(iv) => (((start_offset + i) / iv + 1) * iv - start_offset).min(cases.len()),
                 None => cases.len(),
             };
-            batch_window(&mut engine, prepared, shapes, i..window_end, &mut pre, &mut arena);
+            batch_window(
+                &mut engine,
+                prepared,
+                shapes,
+                i..window_end,
+                &mut pre,
+                &mut arena,
+                &mut sink,
+            );
         }
         let batched = pre.get_mut(i).and_then(Option::take);
         let from_batch = batched.is_some();
@@ -1519,10 +1642,19 @@ fn run_shard(
                 }
                 outcome
             }
-            None => match &mut observer {
-                Some(obs) => obs.execute_timed(&mut engine, &prepared[i]),
-                None => execute_planned(&mut engine, &prepared[i]),
-            },
+            None => {
+                // Scalar execution gets its own span; batched statements
+                // are already covered by the window's batch-group spans.
+                let span_start = sink.as_ref().map(|s| s.now_ns());
+                let outcome = match &mut observer {
+                    Some(obs) => obs.execute_timed(&mut engine, &prepared[i]),
+                    None => execute_planned(&mut engine, &prepared[i]),
+                };
+                if let (Some(sink), Some(start)) = (sink.as_mut(), span_start) {
+                    sink.record_since("execute", start, None);
+                }
+                outcome
+            }
         };
         // The multi-form oracle inspects every statement the crash plane
         // passed on. It re-executes the statement's forms on private clones
@@ -1535,11 +1667,15 @@ fn run_shard(
             (ExecOutcome::Crash(_), _) | (_, None) => None,
             (_, Some(opts)) if !opts.multi_form => None,
             (_, Some(_)) => prepared[i].as_ref().ok().and_then(|p| {
+                let span_start = sink.as_ref().map(|s| s.now_ns());
                 let bug = if from_batch {
                     oracle::multi_form_check_with(template, &case.sql, p.statement(), &outcome)
                 } else {
                     oracle::multi_form_check(template, &case.sql, p.statement())
                 };
+                if let (Some(sink), Some(start)) = (sink.as_mut(), span_start) {
+                    sink.record_since("oracle", start, None);
+                }
                 bug.map(|bug| (oracle::multi_form_fault_id(p.statement()), bug))
             }),
         };
@@ -1629,7 +1765,10 @@ fn run_shard(
         }
     }
     if let Some((m, beats)) = &live {
-        m.shard_finished(&beats[shard], engine.coverage());
+        m.shard_finished(&beats[shard], shard, engine.coverage());
+    }
+    if let (Some(sink), Some(start)) = (sink.as_mut(), shard_span_start) {
+        sink.record_since("shard", start, Some(format!("{} statements", cases.len())));
     }
     ShardOutcome {
         stats: ShardStats {
@@ -1645,6 +1784,7 @@ fn run_shard(
         telemetry: observer.map(|obs| obs.finish(shard, &engine)),
         coverage: engine.coverage().clone(),
         nanos: t0.elapsed().as_nanos(),
+        spans: sink.map(SpanSink::into_spans).unwrap_or_default(),
     }
 }
 

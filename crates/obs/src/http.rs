@@ -10,12 +10,24 @@
 //!
 //! | path       | payload                                            |
 //! |------------|----------------------------------------------------|
+//! | `/`        | the operator dashboard (one self-contained HTML page) |
 //! | `/metrics` | Prometheus text exposition format (version 0.0.4)  |
 //! | `/status`  | one flat JSON object (parseable by [`crate::json`]) |
 //! | `/curve`   | live growth curves as JSONL                        |
+//! | `/events`  | live event stream (chunked JSONL, see below)       |
 //!
-//! Anything else is a 404; non-GET methods get a 405. The server never
-//! writes to the registry, so it cannot perturb the campaign.
+//! Anything else is a 404; non-GET methods get a 405. Every one-shot
+//! response carries `Content-Length` and `Connection: close`, so strict
+//! clients (`curl --fail`, Prometheus scrapers) never wait for more bytes.
+//! The server never writes to the registry, so it cannot perturb the
+//! campaign.
+//!
+//! `/events` is the long-lived exception: it streams the registry's event
+//! log ([`LiveMetrics::events_since`]) as `Transfer-Encoding: chunked`
+//! JSONL — findings, shard lifecycle, epoch reallocations, and watchdog
+//! stalls as they happen — and terminates (zero-length chunk) when the
+//! campaign finishes. Each stream runs on its own thread so the accept
+//! loop keeps answering scrapes while a consumer is attached.
 
 use crate::live::LiveMetrics;
 use std::io::{self, Read, Write};
@@ -82,6 +94,10 @@ impl Drop for MetricsServer {
     }
 }
 
+/// How often an `/events` stream polls the registry's event log for new
+/// lines between flushes.
+const EVENTS_POLL: Duration = Duration::from_millis(25);
+
 fn accept_loop(listener: TcpListener, metrics: Arc<LiveMetrics>, stop: Arc<AtomicBool>) {
     for conn in listener.incoming() {
         if stop.load(Ordering::Acquire) {
@@ -90,8 +106,10 @@ fn accept_loop(listener: TcpListener, metrics: Arc<LiveMetrics>, stop: Arc<Atomi
         match conn {
             // One request per connection, served inline: scrapes are tiny
             // and rare (seconds apart), so a thread pool would be ceremony.
+            // (`/events` is the exception — `serve_one` hands it to its own
+            // thread so a long-lived stream cannot wedge the accept loop.)
             Ok(stream) => {
-                let _ = serve_one(stream, &metrics);
+                let _ = serve_one(stream, &metrics, &stop);
             }
             Err(_) => continue,
         }
@@ -100,18 +118,74 @@ fn accept_loop(listener: TcpListener, metrics: Arc<LiveMetrics>, stop: Arc<Atomi
 
 /// Reads one request, writes one response. IO errors just drop the
 /// connection — the client retries on the next scrape interval.
-fn serve_one(stream: TcpStream, metrics: &LiveMetrics) -> io::Result<()> {
+fn serve_one(
+    stream: TcpStream,
+    metrics: &Arc<LiveMetrics>,
+    stop: &Arc<AtomicBool>,
+) -> io::Result<()> {
     stream.set_read_timeout(Some(READ_TIMEOUT))?;
     let mut stream = stream;
     let request = read_request(&mut stream)?;
     let request_line = String::from_utf8_lossy(&request);
-    let request_line = request_line.lines().next().unwrap_or("");
-    let (status, content_type, body) = respond(request_line, metrics);
+    let request_line = request_line.lines().next().unwrap_or("").to_string();
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().unwrap_or("");
+    let path = parts.next().unwrap_or("").split('?').next().unwrap_or("");
+    if method == "GET" && path == "/events" {
+        // The one streaming route: move the connection to its own thread so
+        // `/metrics` scrapes keep working while a consumer is attached. The
+        // stream exits on campaign completion or server shutdown.
+        let metrics = Arc::clone(metrics);
+        let stop = Arc::clone(stop);
+        std::thread::Builder::new().name("soft-events-stream".into()).spawn(move || {
+            let _ = stream_events(stream, &metrics, &stop);
+        })?;
+        return Ok(());
+    }
+    let (status, content_type, body) = respond(&request_line, metrics);
     write!(
         stream,
         "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
         body.len(),
     )?;
+    stream.flush()
+}
+
+/// Streams the live event log as chunked JSONL until the campaign finishes
+/// (or the server stops): headers first, then one chunk per batch of new
+/// event lines, polling the registry in between, then the terminating
+/// zero-length chunk. `Connection: close` + the terminator give strict
+/// clients an unambiguous end-of-stream.
+fn stream_events(
+    mut stream: TcpStream,
+    metrics: &LiveMetrics,
+    stop: &AtomicBool,
+) -> io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\n\
+         Transfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+    let mut seq = 0usize;
+    loop {
+        let (lines, done) = metrics.events_since(seq);
+        seq += lines.len();
+        for line in &lines {
+            // One chunk per event line (the line plus its newline).
+            write!(stream, "{:x}\r\n{line}\n\r\n", line.len() + 1)?;
+        }
+        if !lines.is_empty() {
+            stream.flush()?;
+        }
+        // `done` was read before the lines were collected, so a true flag
+        // means every event is already written — terminate.
+        if done || stop.load(Ordering::Acquire) {
+            break;
+        }
+        std::thread::sleep(EVENTS_POLL);
+    }
+    write!(stream, "0\r\n\r\n")?;
     stream.flush()
 }
 
@@ -165,6 +239,7 @@ pub(crate) fn respond(request_line: &str, metrics: &LiveMetrics) -> (&'static st
     let path = path.split('?').next().unwrap_or(path);
     let snapshot = metrics.snapshot();
     match path {
+        "/" => ("200 OK", "text/html; charset=utf-8", DASHBOARD_HTML.to_string()),
         "/metrics" => (
             "200 OK",
             "text/plain; version=0.0.4; charset=utf-8",
@@ -172,9 +247,17 @@ pub(crate) fn respond(request_line: &str, metrics: &LiveMetrics) -> (&'static st
         ),
         "/status" => ("200 OK", "application/json", snapshot.render_status_json()),
         "/curve" => ("200 OK", "application/x-ndjson", snapshot.render_curve_jsonl()),
-        _ => ("404 Not Found", "text/plain", "not found; try /metrics, /status, /curve\n".into()),
+        _ => (
+            "404 Not Found",
+            "text/plain",
+            "not found; try /, /metrics, /status, /curve, /events\n".into(),
+        ),
     }
 }
+
+/// The operator dashboard: one self-contained HTML page (no external
+/// assets) that renders `/status`, `/curve`, and the `/events` stream live.
+const DASHBOARD_HTML: &str = include_str!("dashboard.html");
 
 #[cfg(test)]
 mod tests {
@@ -195,7 +278,7 @@ mod tests {
         let metrics = Arc::new(LiveMetrics::new());
         metrics.begin_campaign("DuckDB", 10, 1, 1);
         let beats = metrics.beats();
-        metrics.shard_started(&beats[0]);
+        metrics.shard_started(&beats[0], 0);
         metrics.record_statement(&beats[0], 1, None, crate::event::OutcomeClass::Ok);
         let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
         let addr = server.local_addr();
@@ -279,5 +362,173 @@ mod tests {
         assert_eq!(status, "200 OK");
         let (status, _, _) = respond("GET /else HTTP/1.1", &metrics);
         assert_eq!(status, "404 Not Found");
+    }
+
+    #[test]
+    fn dashboard_is_served_at_root() {
+        let metrics = Arc::new(LiveMetrics::new());
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let (head, body) = scrape(server.local_addr(), "/");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("text/html"), "{head}");
+        // Self-contained: references only the server's own endpoints, no
+        // external assets.
+        assert!(body.contains("<!DOCTYPE html>"), "dashboard is a full page");
+        for endpoint in ["/status", "/curve", "/events"] {
+            assert!(body.contains(endpoint), "dashboard must render {endpoint}");
+        }
+        for external in ["http://", "https://", "src=\"//"] {
+            assert!(
+                !body.replace("https://", "EXT").contains(external) || external == "https://",
+                "dashboard must not reference external assets: {external}"
+            );
+        }
+        assert!(!body.contains("https://"), "no external asset URLs");
+        assert!(!body.contains("http://"), "no external asset URLs");
+    }
+
+    /// The header-contract satellite: every one-shot route — including 404
+    /// and 405 — sends an exact `Content-Length` and `Connection: close`,
+    /// so strict clients never wait for more bytes.
+    #[test]
+    fn every_one_shot_route_sends_content_length_and_connection_close() {
+        let metrics = Arc::new(LiveMetrics::new());
+        metrics.begin_campaign("DuckDB", 10, 1, 1);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let addr = server.local_addr();
+        let cases: [(&str, &str); 6] = [
+            ("GET / HTTP/1.1", "200"),
+            ("GET /metrics HTTP/1.1", "200"),
+            ("GET /status HTTP/1.1", "200"),
+            ("GET /curve HTTP/1.1", "200"),
+            ("GET /missing HTTP/1.1", "404"),
+            ("POST /metrics HTTP/1.1", "405"),
+        ];
+        for (request_line, code) in cases {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            write!(stream, "{request_line}\r\nHost: test\r\n\r\n").expect("request");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("response");
+            let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+            assert!(head.starts_with(&format!("HTTP/1.1 {code}")), "{request_line}: {head}");
+            assert!(head.contains("Connection: close"), "{request_line}: {head}");
+            let len_line = head
+                .lines()
+                .find_map(|l| l.strip_prefix("Content-Length: "))
+                .unwrap_or_else(|| panic!("{request_line}: no Content-Length in {head}"));
+            assert_eq!(
+                len_line.trim().parse::<usize>().expect("numeric length"),
+                body.len(),
+                "{request_line}: Content-Length must match the body exactly"
+            );
+        }
+    }
+
+    /// Decodes a chunked transfer-coded body (event lines are ASCII, so
+    /// byte slicing is safe here).
+    fn decode_chunked(body: &str) -> String {
+        let mut out = String::new();
+        let mut rest = body;
+        loop {
+            let Some((size_line, tail)) = rest.split_once("\r\n") else { break };
+            let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+            if size == 0 {
+                break;
+            }
+            out.push_str(&tail[..size]);
+            rest = &tail[size + 2..]; // skip the chunk's trailing CRLF
+        }
+        out
+    }
+
+    #[test]
+    fn events_stream_is_chunked_and_terminates_when_the_campaign_finishes() {
+        let metrics = Arc::new(LiveMetrics::new());
+        metrics.begin_campaign("DuckDB", 10, 1, 1);
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+        write!(stream, "GET /events HTTP/1.1\r\nHost: test\r\n\r\n").expect("request");
+        // Generate activity while the consumer is attached, then finish: the
+        // stream must deliver everything and terminate on its own.
+        let beats = metrics.beats();
+        metrics.shard_started(&beats[0], 0);
+        assert!(metrics.record_unique_candidate("f-9"));
+        std::thread::sleep(Duration::from_millis(80));
+        metrics.shard_finished(&beats[0], 0, &soft_engine::Coverage::new());
+        metrics.finish_campaign();
+        let mut response = String::new();
+        stream.read_to_string(&mut response).expect("stream ends after finish");
+        let (head, body) = response.split_once("\r\n\r\n").expect("header split");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
+        assert!(head.contains("Transfer-Encoding: chunked"), "{head}");
+        assert!(head.contains("Connection: close"), "{head}");
+        assert!(!head.contains("Content-Length"), "streams have no length: {head}");
+        assert!(body.ends_with("0\r\n\r\n"), "terminating chunk: {body:?}");
+        let events = decode_chunked(body);
+        let types: Vec<String> = events
+            .lines()
+            .map(|l| {
+                let obj = crate::json::parse_object(l).expect("event line is flat JSON");
+                obj["type"].as_str().expect("type").to_string()
+            })
+            .collect();
+        assert_eq!(types, vec!["shard", "finding", "shard", "done"], "{events}");
+        assert!(events.contains("f-9"), "{events}");
+    }
+
+    /// Malformed-request fuzz rows, covering the two new endpoints: whatever
+    /// arrives, the server answers with a well-formed response (or drops the
+    /// connection) and keeps serving afterwards.
+    #[test]
+    fn malformed_requests_never_wedge_the_server() {
+        let metrics = Arc::new(LiveMetrics::new());
+        // Completed campaign so `/events` rows terminate immediately.
+        metrics.finish_campaign();
+        let server = MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind");
+        let addr = server.local_addr();
+        let long_path = format!("GET /{} HTTP/1.1\r\n\r\n", "a".repeat(4096));
+        let rows: Vec<&str> = vec![
+            "",
+            "\r\n\r\n",
+            "GET",
+            "GET\r\n\r\n",
+            "GARBAGE /metrics HTTP/1.1\r\n\r\n",
+            "GET /%00%ff HTTP/1.1\r\n\r\n",
+            "POST / HTTP/1.1\r\n\r\n",
+            "POST /events HTTP/1.1\r\n\r\n",
+            "PUT /events HTTP/1.1\r\n\r\n",
+            "GET /events/../metrics HTTP/1.1\r\n\r\n",
+            "GET /eventsX HTTP/1.1\r\n\r\n",
+            "GET //events HTTP/1.1\r\n\r\n",
+            "GET / HTTP/9.9\r\n\r\n",
+            "GET \t /\tHTTP/1.1\r\n\r\n",
+            &long_path,
+            "GET /events?tail=1 HTTP/1.1\r\n\r\n",
+        ];
+        for row in rows {
+            let mut stream = TcpStream::connect(addr).expect("connect");
+            stream.set_read_timeout(Some(Duration::from_secs(10))).expect("timeout");
+            write!(stream, "{row}").expect("request");
+            stream.shutdown(std::net::Shutdown::Write).expect("half-close");
+            let mut response = String::new();
+            stream.read_to_string(&mut response).expect("server must answer or close");
+            assert!(
+                response.is_empty() || response.starts_with("HTTP/1.1 "),
+                "row {row:?} got a malformed response: {response:?}"
+            );
+        }
+        // Pure-routing fuzz through `respond` for the same shapes.
+        for line in ["", "GET", "NOPE /events", "GET /events", "GET  ", "\u{7f}\u{1b} x"] {
+            let (status, _, body) = respond(line, &metrics);
+            assert!(
+                ["200 OK", "404 Not Found", "405 Method Not Allowed"].contains(&status),
+                "line {line:?} -> {status}"
+            );
+            assert!(!body.is_empty(), "line {line:?} produced an empty body");
+        }
+        // And the server still serves normal scrapes afterwards.
+        let (head, _) = scrape(addr, "/metrics");
+        assert!(head.starts_with("HTTP/1.1 200 OK"), "{head}");
     }
 }

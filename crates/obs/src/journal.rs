@@ -114,58 +114,100 @@ impl TraceFile {
     /// Parses a JSONL journal document. Unknown record types are ignored
     /// (forward compatibility); malformed lines are errors.
     pub fn parse(text: &str) -> Result<TraceFile, String> {
+        Self::parse_inner(text, false).map(|(trace, _)| trace)
+    }
+
+    /// Like [`TraceFile::parse`], but *lenient*: malformed lines are
+    /// skipped and counted instead of failing the whole document. Returns
+    /// the trace plus the number of lines skipped; errs only when the
+    /// journal is entirely unparseable (at least one non-empty line and
+    /// not a single one parsed). Meant for operating on partial or damaged
+    /// journals — e.g. one truncated by a killed campaign — where strict
+    /// parsing would reject everything because of one bad tail line.
+    pub fn parse_lenient(text: &str) -> Result<(TraceFile, usize), String> {
+        Self::parse_inner(text, true)
+    }
+
+    fn parse_inner(text: &str, lenient: bool) -> Result<(TraceFile, usize), String> {
         let mut out = TraceFile::default();
         let mut events = Vec::new();
+        let mut skipped = 0usize;
+        let mut parsed = 0usize;
+        let mut first_err: Option<String> = None;
         for (lineno, line) in text.lines().enumerate() {
             if line.trim().is_empty() {
                 continue;
             }
-            let obj = json::parse_object(line)
-                .map_err(|e| format!("line {}: {e}", lineno + 1))?;
+            let obj = match json::parse_object(line)
+                .map_err(|e| format!("line {}: {e}", lineno + 1))
+            {
+                Ok(obj) => obj,
+                Err(e) if lenient => {
+                    skipped += 1;
+                    first_err.get_or_insert(e);
+                    continue;
+                }
+                Err(e) => return Err(e),
+            };
             let kind = obj.get("type").and_then(JsonValue::as_str).unwrap_or("");
-            match kind {
-                "campaign" => {
-                    out.dialect =
-                        obj.get("dialect").and_then(JsonValue::as_str).map(str::to_string);
-                    out.statements = get_usize(&obj, "statements");
-                    out.snapshot_interval = get_usize(&obj, "snapshot_interval");
-                }
-                "generated" => {
-                    let pattern = obj
-                        .get("pattern")
-                        .and_then(JsonValue::as_str)
-                        .and_then(PatternId::from_label)
-                        .ok_or_else(|| format!("line {}: bad pattern", lineno + 1))?;
-                    let cases = get_usize(&obj, "cases")
-                        .ok_or_else(|| format!("line {}: missing cases", lineno + 1))?;
-                    out.generated.push((pattern, cases));
-                }
-                "stmt" => events.push(parse_event(&obj, lineno + 1)?),
-                "epoch" => {
-                    let (header, alloc) = EpochRealloc::parse_record(&obj, lineno + 1)?;
-                    match out.epochs.last_mut() {
-                        Some(last) if last.epoch == header.epoch => {
-                            last.allocations.push(alloc)
-                        }
-                        _ => {
-                            let mut epoch = header;
-                            epoch.allocations.push(alloc);
-                            out.epochs.push(epoch);
+            let record = (|| -> Result<(), String> {
+                match kind {
+                    "campaign" => {
+                        out.dialect =
+                            obj.get("dialect").and_then(JsonValue::as_str).map(str::to_string);
+                        out.statements = get_usize(&obj, "statements");
+                        out.snapshot_interval = get_usize(&obj, "snapshot_interval");
+                    }
+                    "generated" => {
+                        let pattern = obj
+                            .get("pattern")
+                            .and_then(JsonValue::as_str)
+                            .and_then(PatternId::from_label)
+                            .ok_or_else(|| format!("line {}: bad pattern", lineno + 1))?;
+                        let cases = get_usize(&obj, "cases")
+                            .ok_or_else(|| format!("line {}: missing cases", lineno + 1))?;
+                        out.generated.push((pattern, cases));
+                    }
+                    "stmt" => events.push(parse_event(&obj, lineno + 1)?),
+                    "epoch" => {
+                        let (header, alloc) = EpochRealloc::parse_record(&obj, lineno + 1)?;
+                        match out.epochs.last_mut() {
+                            Some(last) if last.epoch == header.epoch => {
+                                last.allocations.push(alloc)
+                            }
+                            _ => {
+                                let mut epoch = header;
+                                epoch.allocations.push(alloc);
+                                out.epochs.push(epoch);
+                            }
                         }
                     }
+                    "coverage" => out.coverage.push(CoveragePoint {
+                        statements: get_usize(&obj, "statements").ok_or_else(|| {
+                            format!("line {}: missing statements", lineno + 1)
+                        })?,
+                        functions: get_usize(&obj, "functions").unwrap_or(0),
+                        branches: get_usize(&obj, "branches").unwrap_or(0),
+                    }),
+                    _ => {}
                 }
-                "coverage" => out.coverage.push(CoveragePoint {
-                    statements: get_usize(&obj, "statements")
-                        .ok_or_else(|| format!("line {}: missing statements", lineno + 1))?,
-                    functions: get_usize(&obj, "functions").unwrap_or(0),
-                    branches: get_usize(&obj, "branches").unwrap_or(0),
-                }),
-                _ => {}
+                Ok(())
+            })();
+            match record {
+                Ok(()) => parsed += 1,
+                Err(e) if lenient => {
+                    skipped += 1;
+                    first_err.get_or_insert(e);
+                }
+                Err(e) => return Err(e),
             }
+        }
+        if lenient && parsed == 0 && skipped > 0 {
+            return Err(first_err.unwrap_or_else(|| "no parseable lines".into()));
         }
         events.sort_by_key(|e: &StatementEvent| e.index);
         out.journal = Journal { events };
-        Ok(out)
+        Ok((out, skipped))
     }
 
     /// Serialises the trace back to its JSONL form.
@@ -323,6 +365,36 @@ mod tests {
         let err = TraceFile::parse("{\"type\": \"stmt\"}\n").expect_err("missing index");
         assert!(err.contains("line 1"), "{err}");
         let err = TraceFile::parse("not json\n").expect_err("bad line");
+        assert!(err.contains("line 1"), "{err}");
+    }
+
+    #[test]
+    fn lenient_parse_skips_and_counts_damaged_lines() {
+        // A good journal with two damaged lines spliced in (one bad JSON,
+        // one semantically broken record): strict parse rejects the file,
+        // lenient parse recovers everything else and counts the skips.
+        let good = sample_trace().to_jsonl();
+        let mut text = String::new();
+        for (i, line) in good.lines().enumerate() {
+            text.push_str(line);
+            text.push('\n');
+            if i == 0 {
+                text.push_str("truncated {\"type\": \"stm\n");
+                text.push_str("{\"type\": \"stmt\", \"outcome\": \"ok\"}\n");
+            }
+        }
+        assert!(TraceFile::parse(&text).is_err());
+        let (trace, skipped) = TraceFile::parse_lenient(&text).expect("recovers");
+        assert_eq!(skipped, 2);
+        assert_eq!(trace, sample_trace());
+        // A fully clean journal skips nothing...
+        let (trace, skipped) = TraceFile::parse_lenient(&good).expect("clean");
+        assert_eq!(skipped, 0);
+        assert_eq!(trace, sample_trace());
+        // ...an empty one is fine (nothing to skip)...
+        assert_eq!(TraceFile::parse_lenient("").expect("empty").1, 0);
+        // ...but a journal with no parseable line at all is still an error.
+        let err = TraceFile::parse_lenient("garbage\nmore garbage\n").expect_err("all bad");
         assert!(err.contains("line 1"), "{err}");
     }
 }

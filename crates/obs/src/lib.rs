@@ -36,7 +36,11 @@
 //! * [`watchdog`] — a polling observer over the registry's per-shard
 //!   heartbeats that reports stalled and slow shards ([`WatchdogReport`]);
 //! * [`forensics`] — per-unique-fault triage [`Bundle`]s
-//!   (`findings/<fault-id>/` with PoC, provenance, and replay command).
+//!   (`findings/<fault-id>/` with PoC, provenance, and replay command);
+//! * [`span`] — the flight recorder: hierarchical wall-clock spans
+//!   (campaign → epoch → shard → batch-group → statement stage) recorded
+//!   into per-worker buffers, merged into a [`SpanTrace`] on `CampaignRun`,
+//!   and exported as Chrome trace-event JSON for Perfetto.
 //!
 //! # Determinism
 //!
@@ -75,6 +79,7 @@ pub mod latency;
 pub mod live;
 pub mod metrics;
 pub mod schedule;
+pub mod span;
 pub mod telemetry;
 pub mod watchdog;
 
@@ -87,6 +92,7 @@ pub use latency::{LatencyHistogram, StageLatency};
 pub use live::{LiveMetrics, LiveSnapshot};
 pub use metrics::{CategoryYield, PatternYield, YieldMetrics};
 pub use schedule::{ArmAlloc, EpochRealloc};
+pub use span::{SpanRecord, SpanSink, SpanTrace};
 pub use telemetry::{
     CampaignTelemetry, ShardTelemetry, TelemetryConfig, TelemetryOptions,
 };

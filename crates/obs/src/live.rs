@@ -23,10 +23,11 @@
 //! statement.
 
 use crate::event::OutcomeClass;
+use crate::json::{num_field, str_field};
 use soft_engine::{Coverage, PatternId};
 use std::collections::HashSet;
 use std::fmt::Write as _;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::Instant;
 
@@ -156,6 +157,14 @@ pub struct LiveMetrics {
     coverage_curve: Mutex<Vec<LiveCoveragePoint>>,
     /// Union of completed shards' coverage — locked once per shard.
     coverage: Mutex<Coverage>,
+    /// The append-only live event log behind the `/events` stream: one
+    /// pre-rendered flat-JSON line per rare event (shard lifecycle, unique
+    /// finding, epoch reallocation, watchdog stall, campaign completion).
+    /// Locked only on those events, never per statement.
+    events: Mutex<Vec<Arc<str>>>,
+    /// Raised by [`LiveMetrics::finish_campaign`]; tells `/events` consumers
+    /// the log is complete and the stream can terminate.
+    events_done: AtomicBool,
 }
 
 impl Default for LiveMetrics {
@@ -200,6 +209,8 @@ impl LiveMetrics {
             bug_curve: Mutex::new(Vec::new()),
             coverage_curve: Mutex::new(Vec::new()),
             coverage: Mutex::new(Coverage::new()),
+            events: Mutex::new(Vec::new()),
+            events_done: AtomicBool::new(false),
         }
     }
 
@@ -233,10 +244,78 @@ impl LiveMetrics {
         Arc::clone(&self.beats.read().expect("beats poisoned"))
     }
 
+    /// Appends one pre-rendered line to the live event log.
+    fn push_event(&self, line: String) {
+        self.events.lock().expect("events poisoned").push(Arc::from(line.as_str()));
+    }
+
+    /// The event log from sequence number `from` onward, plus whether the
+    /// log is complete ([`LiveMetrics::finish_campaign`] was called). The
+    /// done flag is read *before* the log is locked, so `done == true`
+    /// guarantees the returned slice reaches the final event — `/events`
+    /// streamers can terminate without a second look.
+    pub fn events_since(&self, from: usize) -> (Vec<Arc<str>>, bool) {
+        let done = self.events_done.load(Ordering::Acquire);
+        let events = self.events.lock().expect("events poisoned");
+        let lines = events[from.min(events.len())..].to_vec();
+        (lines, done)
+    }
+
+    /// Marks the event log complete: appends the `done` summary event, then
+    /// raises the flag `/events` streamers terminate on. Called once by the
+    /// campaign runner after the merge.
+    pub fn finish_campaign(&self) {
+        let line = format!(
+            "{{{}, {}, {}, {}}}",
+            str_field("type", "done"),
+            num_field("statements", self.statements.load(Ordering::Relaxed) as i64),
+            num_field("unique", self.unique_faults.load(Ordering::Relaxed) as i64),
+            num_field("ms", self.elapsed_ms() as i64)
+        );
+        self.push_event(line);
+        self.events_done.store(true, Ordering::Release);
+    }
+
+    /// Records one epoch reallocation of the feedback scheduler into the
+    /// event log (the deterministic record lives in the journal; this is
+    /// the live mirror).
+    pub fn record_epoch(&self, epoch: usize, start_statement: usize, budget: usize) {
+        let line = format!(
+            "{{{}, {}, {}, {}, {}}}",
+            str_field("type", "epoch"),
+            num_field("epoch", epoch as i64),
+            num_field("start_statement", start_statement as i64),
+            num_field("budget", budget as i64),
+            num_field("ms", self.elapsed_ms() as i64)
+        );
+        self.push_event(line);
+    }
+
+    /// Records a watchdog stall observation into the event log.
+    pub fn record_stall(&self, shard: usize, last_index: u64, stalled_ms: u64) {
+        let line = format!(
+            "{{{}, {}, {}, {}, {}}}",
+            str_field("type", "stall"),
+            num_field("shard", shard as i64),
+            num_field("last_index", last_index as i64),
+            num_field("stalled_ms", stalled_ms as i64),
+            num_field("ms", self.elapsed_ms() as i64)
+        );
+        self.push_event(line);
+    }
+
     /// Marks a shard claimed by a worker.
-    pub fn shard_started(&self, beat: &ShardBeat) {
+    pub fn shard_started(&self, beat: &ShardBeat, shard: usize) {
         beat.last_beat_ms.store(self.elapsed_ms(), Ordering::Relaxed);
         beat.state.store(1, Ordering::Release);
+        let line = format!(
+            "{{{}, {}, {}, {}}}",
+            str_field("type", "shard"),
+            num_field("shard", shard as i64),
+            str_field("state", "running"),
+            num_field("ms", self.elapsed_ms() as i64)
+        );
+        self.push_event(line);
     }
 
     /// Records one executed statement — the wait-free hot path: five
@@ -276,18 +355,28 @@ impl LiveMetrics {
         let unique = seen.len() as u64;
         drop(seen);
         self.unique_faults.store(unique, Ordering::Relaxed);
+        let statements = self.statements.load(Ordering::Relaxed);
         self.bug_curve.lock().expect("bug curve poisoned").push(LiveBugPoint {
-            statements: self.statements.load(Ordering::Relaxed),
+            statements,
             unique,
             fault_id: fault_id.to_string(),
         });
+        let line = format!(
+            "{{{}, {}, {}, {}, {}}}",
+            str_field("type", "finding"),
+            str_field("fault", fault_id),
+            num_field("unique", unique as i64),
+            num_field("statements", statements as i64),
+            num_field("ms", self.elapsed_ms() as i64)
+        );
+        self.push_event(line);
         true
     }
 
     /// Marks a shard finished, merging its coverage into the live union and
     /// appending a live coverage-curve point. One lock per *shard*, never
     /// per statement.
-    pub fn shard_finished(&self, beat: &ShardBeat, shard_coverage: &Coverage) {
+    pub fn shard_finished(&self, beat: &ShardBeat, shard: usize, shard_coverage: &Coverage) {
         beat.state.store(2, Ordering::Release);
         self.shards_done.fetch_add(1, Ordering::Relaxed);
         let mut coverage = self.coverage.lock().expect("coverage poisoned");
@@ -299,6 +388,15 @@ impl LiveMetrics {
         };
         drop(coverage);
         self.coverage_curve.lock().expect("coverage curve poisoned").push(point);
+        let line = format!(
+            "{{{}, {}, {}, {}, {}}}",
+            str_field("type", "shard"),
+            num_field("shard", shard as i64),
+            str_field("state", "done"),
+            num_field("statements", beat.statements() as i64),
+            num_field("ms", self.elapsed_ms() as i64)
+        );
+        self.push_event(line);
     }
 
     /// A consistent-enough point-in-time copy of every surface, for the
@@ -596,7 +694,7 @@ mod tests {
         let m = LiveMetrics::new();
         m.begin_campaign("MonetDB", 100, 2, 3);
         let beats = m.beats();
-        m.shard_started(&beats[0]);
+        m.shard_started(&beats[0], 0);
         m.record_statement(&beats[0], 1, None, OutcomeClass::Ok);
         m.record_statement(&beats[0], 2, Some(PatternId::P1_2), OutcomeClass::Crash);
         m.record_statement(&beats[0], 3, Some(PatternId::P3_3), OutcomeClass::Error);
@@ -605,8 +703,47 @@ mod tests {
         let mut cov = Coverage::new();
         cov.record_function("substr");
         cov.record_branch("substr", "site");
-        m.shard_finished(&beats[0], &cov);
+        m.shard_finished(&beats[0], 0, &cov);
         m
+    }
+
+    #[test]
+    fn event_log_streams_flat_json_and_terminates() {
+        let m = registry_with_activity();
+        let (lines, done) = m.events_since(0);
+        assert!(!done, "log must stay open until finish_campaign");
+        let types: Vec<String> = lines
+            .iter()
+            .map(|l| {
+                let obj = crate::json::parse_object(l).expect("flat json event");
+                obj["type"].as_str().expect("type").to_string()
+            })
+            .collect();
+        assert_eq!(types, vec!["shard", "finding", "shard"]);
+        let finding = crate::json::parse_object(&lines[1]).expect("finding");
+        assert_eq!(finding["fault"].as_str(), Some("f-1"));
+        assert_eq!(finding["unique"].as_num(), Some(1));
+
+        m.record_epoch(1, 65, 1000);
+        m.record_stall(0, 3, 6000);
+        m.finish_campaign();
+        let (rest, done) = m.events_since(lines.len());
+        assert!(done, "finish_campaign closes the log");
+        let rest_types: Vec<&str> = rest
+            .iter()
+            .map(|l| match l {
+                l if l.contains("\"epoch\"") => "epoch",
+                l if l.contains("\"stall\"") => "stall",
+                _ => "done",
+            })
+            .collect();
+        assert_eq!(rest_types, vec!["epoch", "stall", "done"]);
+        let done_line = crate::json::parse_object(&rest[2]).expect("done event");
+        assert_eq!(done_line["type"].as_str(), Some("done"));
+        assert_eq!(done_line["statements"].as_num(), Some(3));
+        assert_eq!(done_line["unique"].as_num(), Some(1));
+        // Reads past the end are empty, not a panic.
+        assert!(m.events_since(999).0.is_empty());
     }
 
     #[test]

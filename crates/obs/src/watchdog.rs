@@ -145,14 +145,20 @@ pub fn run(metrics: &LiveMetrics, stop: &AtomicBool, cfg: WatchdogConfig) -> Wat
                 continue;
             }
             let event = StallEvent { shard, last_index: beat.last_index(), stalled_ms: silent_ms };
-            worst
-                .entry(shard)
-                .and_modify(|w| {
-                    if event.stalled_ms > w.stalled_ms {
-                        *w = event;
+            match worst.entry(shard) {
+                std::collections::btree_map::Entry::Occupied(mut worst) => {
+                    if event.stalled_ms > worst.get().stalled_ms {
+                        *worst.get_mut() = event;
                     }
-                })
-                .or_insert(event);
+                }
+                std::collections::btree_map::Entry::Vacant(slot) => {
+                    // First stall observation for this shard: mirror it into
+                    // the live event log so `/events` consumers see it as it
+                    // happens (the report keeps the worst observation).
+                    metrics.record_stall(shard, event.last_index, event.stalled_ms);
+                    slot.insert(event);
+                }
+            }
         }
     }
     WatchdogReport { polls, stalls: worst.into_values().collect(), slow_shards: Vec::new() }
@@ -184,7 +190,7 @@ mod tests {
         let beats = metrics.beats();
         // Shard 0 starts and heartbeats once, then goes silent; shard 1
         // never starts (pending shards are not stalls).
-        metrics.shard_started(&beats[0]);
+        metrics.shard_started(&beats[0], 0);
         metrics.record_statement(
             &beats[0],
             7,
@@ -212,6 +218,12 @@ mod tests {
         assert_eq!(report.stalls[0].last_index, 7);
         assert!(report.stalls[0].stalled_ms >= 30);
         assert!(!report.all_clear());
+        // The first stall observation is mirrored into the live event log.
+        let (events, _) = metrics.events_since(0);
+        assert!(
+            events.iter().any(|l| l.contains("\"type\": \"stall\"")),
+            "stall event missing from live log: {events:?}"
+        );
     }
 
     #[test]
@@ -231,12 +243,12 @@ mod tests {
             };
             // Keep the heartbeat fresh for ~100ms.
             let beats = metrics.beats();
-            metrics.shard_started(&beats[0]);
+            metrics.shard_started(&beats[0], 0);
             for i in 1..=10 {
                 metrics.record_statement(&beats[0], i, None, crate::event::OutcomeClass::Ok);
                 std::thread::sleep(Duration::from_millis(10));
             }
-            metrics.shard_finished(&beats[0], &soft_engine::Coverage::new());
+            metrics.shard_finished(&beats[0], 0, &soft_engine::Coverage::new());
             stop.store(true, Ordering::Release);
             watchdog.join().expect("watchdog thread")
         });

@@ -86,6 +86,69 @@ fi
 grep -q '"type": "epoch"' "$sched_journal"
 rm -f "$sched_journal"
 
+echo "verify: flight recorder smoke (campaign --spans + trace --chrome)"
+# A spans-armed campaign must write a Chrome trace-event file (the binary
+# validates the JSON with the in-tree validator before writing), and the
+# offline `trace --chrome` export of a journal must do the same. Both
+# exports land in the repo root (gitignored) so CI uploads them as the
+# sample trace artifacts.
+spans_journal="$(mktemp -t soft-spans-XXXXXX).jsonl"
+status=0
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 3000 --spans "$PWD" --stall-ms 10000 \
+    --journal "$spans_journal" > /dev/null || status=$?
+if [ "$status" -ne 0 ] && [ "$status" -ne 3 ] && [ "$status" -ne 4 ]; then
+    echo "verify: spans-armed campaign exited $status (expected 0, 3, or 4)" >&2
+    exit 1
+fi
+test -s clickhouse_trace.json
+# The export is a JSON array of trace events: opens with `[`, and every
+# event is a Chrome trace-event object.
+head -c 1 clickhouse_trace.json | grep -q '\['
+grep -q '"ph": "X"' clickhouse_trace.json
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    trace "$spans_journal" --chrome TRACE_journal.json > /dev/null
+test -s TRACE_journal.json
+head -c 1 TRACE_journal.json | grep -q '\['
+
+echo "verify: compare smoke (the cross-campaign diff and its exit-code gate)"
+# Campaigns are deterministic and a smaller budget plans an exact prefix
+# of a larger one, so: identical runs diff clean (exit 0), small->large
+# gains bugs only (exit 0), and large->small loses them (exit 5 — the CI
+# regression gate). All three directions are load-bearing.
+cmp_dir="$(mktemp -d -t soft-compare-XXXXXX)"
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 1500 --journal "$cmp_dir/small.jsonl" \
+    > /dev/null || true
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    campaign clickhouse --budget 1500 --journal "$cmp_dir/small2.jsonl" \
+    > /dev/null || true
+status=0
+cmp_out="$(cargo run --release --offline -q -p soft-bench --bin repro -- \
+    compare "$cmp_dir/small.jsonl" "$cmp_dir/small2.jsonl")" || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "verify: identical campaigns compared nonzero ($status)" >&2
+    exit 1
+fi
+printf '%s\n' "$cmp_out" | grep -q "0 new, 0 lost"
+status=0
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    compare "$cmp_dir/small.jsonl" "$spans_journal" --csv "$cmp_dir/csv" \
+    > /dev/null || status=$?
+if [ "$status" -ne 0 ]; then
+    echo "verify: small->large compare exited $status (gained bugs only: expected 0)" >&2
+    exit 1
+fi
+test -s "$cmp_dir/csv/compare_bugs.csv"
+status=0
+cargo run --release --offline -q -p soft-bench --bin repro -- \
+    compare "$spans_journal" "$cmp_dir/small.jsonl" > /dev/null || status=$?
+if [ "$status" -ne 5 ]; then
+    echo "verify: large->small compare exited $status (lost bugs: expected 5)" >&2
+    exit 1
+fi
+rm -rf "$cmp_dir" "$spans_journal"
+
 echo "verify: repository smoke (repo init + ingest + a campaign consuming it)"
 # The full operator loop: the forensics bundles from the smoke above are
 # distilled into a seed repository, and a follow-up campaign consumes it.
@@ -119,6 +182,29 @@ echo "verify: execute bench + batch regression gate (tiny budget, paired arms)"
 SOFT_BENCH_WARMUP_MS=1 SOFT_BENCH_MEASURE_MS=50 SOFT_BENCH_JSON_DIR="$PWD" \
     cargo bench --offline -q -p soft-bench --bench execute > /dev/null
 test -s BENCH_execute.json
+
+echo "verify: spans bench + flight-recorder overhead gate (paired arms)"
+# The spans-off and spans-on arms alternate inside one measurement window
+# (bench_pair), so their ratio is drift-robust even in a short smoke run.
+# The recorder is per-shard Vec pushes with no locks; arming it must cost
+# at most 5% statements/sec (measured ~1.5%, EXPERIMENTS.md "Flight
+# recorder overhead").
+SOFT_BENCH_WARMUP_MS=1 SOFT_BENCH_MEASURE_MS=50 SOFT_BENCH_JSON_DIR="$PWD" \
+    cargo bench --offline -q -p soft-bench --bench spans > /dev/null
+test -s BENCH_spans.json
+spans_rates="$(sed -n 's/.*"label": "\([^"]*\)".*"items_per_sec": \([0-9.]*\).*/\1 \2/p' BENCH_spans.json)"
+spans_off="$(printf '%s\n' "$spans_rates" | awk '$1 == "spans/ClickHouse/off" { print $2 }')"
+spans_on="$(printf '%s\n' "$spans_rates" | awk '$1 == "spans/ClickHouse/on" { print $2 }')"
+if [ -z "$spans_off" ] || [ -z "$spans_on" ]; then
+    echo "verify: BENCH_spans.json is missing the paired spans arms" >&2
+    exit 1
+fi
+awk -v off="$spans_off" -v on="$spans_on" 'BEGIN {
+    if (on + 0 < 0.95 * off) {
+        printf "verify: arming spans costs >5%% statements/sec (%.0f vs %.0f items/s)\n", on, off
+        exit 1
+    }
+}' || exit 1
 
 echo "verify: schedule bench smoke (static vs adaptive arms run end to end)"
 # A tiny budget proves the comparison harness builds and runs every arm;
@@ -165,4 +251,4 @@ for dialect in ClickHouse MonetDB; do
     }' || exit 1
 done
 
-echo "verify: OK (offline build + tests at both thread settings + docs + links + trace/oracle/forensics/scheduler/repository smoke + bench gates)"
+echo "verify: OK (offline build + tests at both thread settings + docs + links + trace/oracle/forensics/scheduler/repository/flight-recorder/compare smoke + bench gates)"

@@ -80,6 +80,7 @@ fn metrics_endpoint_serves_a_running_campaign_and_reconciles_at_the_end() {
     let plane = LivePlane {
         metrics: Some(Arc::clone(&metrics)),
         watchdog: Some(WatchdogConfig::default()),
+        spans: false,
     };
 
     let run = std::thread::scope(|scope| {
@@ -160,6 +161,98 @@ fn metrics_endpoint_serves_a_running_campaign_and_reconciles_at_the_end() {
     // Unknown paths 404; non-GET methods 405.
     let (status, _) = http_get(&addr, "/nope");
     assert_eq!(status, "HTTP/1.1 404 Not Found");
+    server.shutdown();
+}
+
+/// Decodes an HTTP/1.1 chunked transfer-encoded body.
+fn decode_chunked(mut body: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let Some((size_line, rest)) = body.split_once("\r\n") else { break };
+        let size = usize::from_str_radix(size_line.trim(), 16).expect("hex chunk size");
+        if size == 0 {
+            break;
+        }
+        out.push_str(&rest[..size]);
+        body = &rest[size..].strip_prefix("\r\n").expect("chunk trailer CRLF");
+    }
+    out
+}
+
+/// The `/events` stream consumed *concurrently* with a scheduled campaign
+/// reconciles against the final deterministic report: every finding event
+/// matches a report finding (and vice versa), every shard reports done,
+/// one epoch event per recorded reallocation, and the stream terminates
+/// with exactly one `done` record once the campaign finishes.
+#[test]
+fn events_stream_reconciles_against_the_final_report() {
+    use soft_repro::soft::{
+        OracleConfig, ScheduleConfig, ScheduleOptions, TelemetryConfig, TelemetryOptions,
+    };
+    let metrics = Arc::new(LiveMetrics::new());
+    let mut server =
+        MetricsServer::bind("127.0.0.1:0", Arc::clone(&metrics)).expect("bind on a free port");
+    let addr = server.local_addr();
+
+    let profile = DialectProfile::build(DialectId::Clickhouse);
+    let cfg = CampaignConfig {
+        max_statements: 8_000,
+        per_seed_cap: 16,
+        telemetry: TelemetryConfig::On(TelemetryOptions {
+            snapshot_interval: 1_000,
+            journal_path: None,
+        }),
+        oracles: OracleConfig::on(),
+        schedule: ScheduleConfig::On(ScheduleOptions { epochs: 4, ..ScheduleOptions::default() }),
+        ..CampaignConfig::default()
+    };
+    let plane = LivePlane {
+        metrics: Some(Arc::clone(&metrics)),
+        watchdog: Some(WatchdogConfig::default()),
+        spans: true,
+    };
+
+    // The consumer connects while the campaign runs; the chunked stream
+    // only terminates once the campaign thread records `done`.
+    let (run, raw) = std::thread::scope(|scope| {
+        let campaign = scope.spawn(|| run_soft_parallel_live(&profile, &cfg, 4, &plane));
+        let consumer = scope.spawn(move || http_get(&addr, "/events"));
+        let run = campaign.join().expect("campaign thread");
+        let (status, body) = consumer.join().expect("events consumer");
+        assert_eq!(status, "HTTP/1.1 200 OK");
+        (run, body)
+    });
+
+    let body = decode_chunked(&raw);
+    let report = &run.report;
+    let mut finding_faults = Vec::new();
+    let mut shards_done = 0usize;
+    let mut epochs = 0usize;
+    let mut done_records = 0usize;
+    for line in body.lines() {
+        let obj = soft_repro::obs::json::parse_object(line).expect("valid event JSON");
+        match obj["type"].as_str().expect("event type") {
+            "finding" => finding_faults.push(obj["fault"].as_str().expect("fault").to_string()),
+            "shard" if obj["state"].as_str() == Some("done") => shards_done += 1,
+            "epoch" => epochs += 1,
+            "done" => {
+                done_records += 1;
+                assert_eq!(obj["statements"].as_num(), Some(report.statements_executed as i64));
+                assert_eq!(obj["unique"].as_num(), Some(report.findings.len() as i64));
+            }
+            _ => {}
+        }
+    }
+    finding_faults.sort();
+    let mut report_faults: Vec<String> =
+        report.findings.iter().map(|f| f.fault_id.clone()).collect();
+    report_faults.sort();
+    assert_eq!(finding_faults, report_faults, "finding events diverge from the report");
+    assert_eq!(shards_done, report.shards.len(), "not every shard reported done");
+    let telemetry = report.telemetry.as_ref().expect("telemetry was on");
+    assert_eq!(epochs, telemetry.epochs.len(), "one epoch event per reallocation");
+    assert_eq!(done_records, 1, "exactly one done record terminates the stream");
+    assert!(body.trim_end().lines().last().expect("nonempty stream").contains("\"done\""));
     server.shutdown();
 }
 

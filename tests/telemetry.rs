@@ -82,6 +82,7 @@ fn live_plane_and_watchdog_preserve_byte_identical_reports() {
         let plane = LivePlane {
             metrics: Some(Arc::clone(&metrics)),
             watchdog: Some(WatchdogConfig::default()),
+            spans: false,
         };
         let run = run_soft_parallel_live(&profile, &cfg, workers, &plane);
         assert_eq!(
@@ -98,6 +99,48 @@ fn live_plane_and_watchdog_preserve_byte_identical_reports() {
         assert_eq!(snap.statements as usize, run.report.statements_executed);
         assert_eq!(snap.unique_faults as usize, run.report.findings.len());
         assert_eq!(snap.shards_done as usize, run.report.shards.len());
+    }
+}
+
+/// The flight recorder is a pure observer even with everything else
+/// armed: oracles, telemetry, the epoch scheduler, batching, live
+/// metrics, the watchdog, and spans all on, the report is byte-identical
+/// to the bare serial run at 1, 2, 4, and 7 workers — and every armed run
+/// yields a non-empty span trace whose Chrome export is valid
+/// trace-event JSON.
+#[test]
+fn flight_recorder_preserves_byte_identical_reports() {
+    use soft_repro::soft::{OracleConfig, ScheduleConfig, ScheduleOptions};
+    let profile = DialectProfile::build(DialectId::Monetdb);
+    let cfg = CampaignConfig {
+        oracles: OracleConfig::on(),
+        schedule: ScheduleConfig::On(ScheduleOptions { epochs: 4, ..ScheduleOptions::default() }),
+        batch: true,
+        ..telemetry_config(4_000)
+    };
+    let reference = run_soft_parallel(&profile, &cfg, 1);
+    for workers in [1usize, 2, 4, 7] {
+        let plane = LivePlane {
+            metrics: Some(Arc::new(LiveMetrics::new())),
+            watchdog: Some(WatchdogConfig::default()),
+            spans: true,
+        };
+        let run = run_soft_parallel_live(&profile, &cfg, workers, &plane);
+        assert_eq!(
+            reference, run.report,
+            "flight recorder leaked into the report at {workers} workers"
+        );
+        let spans = run.spans.as_ref().expect("spans were armed");
+        assert!(!spans.spans.is_empty(), "armed recorder produced no spans");
+        // Worker w's shards record on tracks >= 1; track 0 is the campaign
+        // thread. Every record must cite a known track.
+        assert!(spans.spans.iter().any(|s| s.name == "campaign"), "campaign span missing");
+        assert!(spans.spans.iter().any(|s| s.name == "shard"), "shard spans missing");
+        assert!(spans.spans.iter().any(|s| s.name == "epoch"), "epoch spans missing");
+        let json = spans.to_chrome_json("test");
+        let events = soft_repro::obs::span::validate_json(&json)
+            .expect("chrome export is valid trace-event JSON");
+        assert!(events > spans.spans.len(), "metadata events missing from the export");
     }
 }
 
